@@ -1,0 +1,15 @@
+//! Accelerator hardware configuration and energy model.
+//!
+//! Models the generic large-scale DNN accelerator template of the paper's
+//! Sec. II / Fig. 1: several cores (each a PE array plus a vector unit and
+//! private L0 buffers) sharing a Global Buffer (GBUF), connected to DRAM.
+//!
+//! Two presets reproduce the paper's evaluation platforms (Sec. VI-A1):
+//! [`HardwareConfig::edge`] (16 TOPS, 8 MB, 16 GB/s) and
+//! [`HardwareConfig::cloud`] (128 TOPS, 32 MB, 128 GB/s), both at 1 GHz.
+
+pub mod config;
+pub mod energy;
+
+pub use config::{HardwareConfig, HardwareConfigBuilder};
+pub use energy::EnergyModel;

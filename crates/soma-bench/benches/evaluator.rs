@@ -1,0 +1,56 @@
+//! Criterion benches for the evaluator path: parsing, double-buffer DLSA
+//! construction, buffer profiles and the timeline simulation — the inner
+//! loop of both SA stages.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use soma_arch::HardwareConfig;
+use soma_core::{lifetime, parse_lfa, Dlsa, Lfa};
+use soma_model::zoo;
+use soma_sim::{simulate, CoreArrayModel};
+
+fn bench_parse(c: &mut Criterion) {
+    let net = zoo::resnet50(1);
+    let lfa = Lfa::unfused(&net, 8);
+    c.bench_function("parse_lfa/resnet50_unfused_t8", |b| {
+        b.iter(|| parse_lfa(&net, &lfa).unwrap())
+    });
+
+    let net_t = zoo::gpt2_small_prefill(1, 512);
+    let lfa_t = Lfa::unfused(&net_t, 4);
+    c.bench_function("parse_lfa/gpt2s_prefill_unfused_t4", |b| {
+        b.iter(|| parse_lfa(&net_t, &lfa_t).unwrap())
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let net = zoo::resnet50(1);
+    let plan = parse_lfa(&net, &Lfa::unfused(&net, 8)).unwrap();
+    let dlsa = Dlsa::double_buffer(&plan);
+    let hw = HardwareConfig::edge();
+    let mut model = CoreArrayModel::new(&hw);
+    // Warm the memo cache so the bench measures the timeline itself.
+    let _ = simulate(&plan, &dlsa, &hw, &mut model).unwrap();
+    c.bench_function("simulate/resnet50_t8_warm", |b| {
+        b.iter(|| simulate(&plan, &dlsa, &hw, &mut model).unwrap())
+    });
+}
+
+fn bench_buffer_profile(c: &mut Criterion) {
+    let net = zoo::resnet50(1);
+    let plan = parse_lfa(&net, &Lfa::unfused(&net, 8)).unwrap();
+    let dlsa = Dlsa::double_buffer(&plan);
+    c.bench_function("buffer_profile/resnet50_t8", |b| {
+        b.iter(|| lifetime::buffer_profile(&plan, &dlsa))
+    });
+}
+
+fn bench_double_buffer(c: &mut Criterion) {
+    let net = zoo::resnet50(1);
+    let plan = parse_lfa(&net, &Lfa::unfused(&net, 8)).unwrap();
+    c.bench_function("dlsa_double_buffer/resnet50_t8", |b| {
+        b.iter_batched(|| &plan, Dlsa::double_buffer, BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_simulate, bench_buffer_profile, bench_double_buffer);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the search stack: one full stage-1 objective
+//! evaluation, one stage-2 objective evaluation, and small end-to-end
+//! schedules (SoMa and Cocco).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soma_arch::HardwareConfig;
+use soma_core::{parse_lfa, Dlsa, Lfa};
+use soma_model::zoo;
+use soma_search::{schedule, schedule_cocco, CostWeights, Objective, SearchConfig};
+
+fn bench_objective(c: &mut Criterion) {
+    let net = zoo::resnet50(1);
+    let hw = HardwareConfig::edge();
+    let lfa = Lfa::unfused(&net, 8);
+    let mut obj = Objective::new(&net, &hw, CostWeights::default());
+    c.bench_function("objective/eval_lfa_resnet50", |b| {
+        b.iter(|| obj.eval_lfa(&lfa, hw.buffer_bytes).unwrap().0)
+    });
+
+    let plan = parse_lfa(&net, &lfa).unwrap();
+    let dlsa = Dlsa::double_buffer(&plan);
+    c.bench_function("objective/eval_dlsa_resnet50", |b| {
+        b.iter(|| obj.eval_parts(&plan, &dlsa, hw.buffer_bytes).unwrap().0)
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let net = zoo::fig4(1);
+    let hw = HardwareConfig::edge();
+    let cfg = SearchConfig { effort: 0.05, seed: 5, ..SearchConfig::default() };
+    c.bench_function("schedule/soma_fig4_quick", |b| b.iter(|| schedule(&net, &hw, &cfg)));
+    c.bench_function("schedule/cocco_fig4_quick", |b| {
+        b.iter(|| schedule_cocco(&net, &hw, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_objective, bench_end_to_end
+}
+criterion_main!(benches);

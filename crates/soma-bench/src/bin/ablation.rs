@@ -1,0 +1,73 @@
+//! Ablation study over SoMa's design choices (the trade-offs DESIGN.md
+//! calls out, complementing the paper's Sec. VII-B analysis):
+//!
+//! * `cocco` — the baseline (restricted space, heuristic tiling).
+//! * `stage1_only` — SoMa's layer-fusion stage with double-buffer DLSA
+//!   (the paper's `Ours_1`): isolates the fusion gains.
+//! * `no_allocator` — full SoMa but a single Buffer Allocator round:
+//!   isolates the allocator's buffer-rebalancing gains.
+//! * `linked_cuts` — full SoMa but FLC set forced equal to the DRAM cut
+//!   set: isolates the value of weight-shuffling FLCs (the paper's
+//!   Sec. VII-B1 second lesson).
+//! * `full` — the complete framework.
+//!
+//! CSV columns: `workload,batch,variant,latency_cycles,energy_pj,cost`.
+
+use soma_arch::HardwareConfig;
+use soma_bench::{config_for, salt};
+use soma_model::zoo;
+use soma_search::{schedule, schedule_cocco, SearchConfig};
+
+fn main() {
+    let hw = HardwareConfig::edge();
+    println!("workload,batch,variant,latency_cycles,energy_pj,cost");
+
+    for batch in [1u32, 4] {
+        for net in [zoo::resnet50(batch), zoo::gpt2_small_prefill(batch, 512)] {
+            let name = net.name().to_string();
+            let base = config_for(&net, salt(&["ablation", &name, &batch.to_string()]));
+
+            let cocco = schedule_cocco(&net, &hw, &base);
+            let full = schedule(&net, &hw, &base);
+            let no_alloc = schedule(
+                &net,
+                &hw,
+                &SearchConfig { max_allocator_iters: 1, ..base.clone() },
+            );
+            let linked = schedule(&net, &hw, &SearchConfig { link_cuts: true, ..base.clone() });
+
+            let rows: Vec<(&str, u64, f64, f64)> = vec![
+                ("cocco", cocco.report.latency_cycles, cocco.report.energy.total_pj(), cocco.cost),
+                (
+                    "stage1_only",
+                    full.stage1.report.latency_cycles,
+                    full.stage1.report.energy.total_pj(),
+                    full.stage1.cost,
+                ),
+                (
+                    "no_allocator",
+                    no_alloc.best.report.latency_cycles,
+                    no_alloc.best.report.energy.total_pj(),
+                    no_alloc.best.cost,
+                ),
+                (
+                    "linked_cuts",
+                    linked.best.report.latency_cycles,
+                    linked.best.report.energy.total_pj(),
+                    linked.best.cost,
+                ),
+                ("full", full.best.report.latency_cycles, full.best.report.energy.total_pj(), full.best.cost),
+            ];
+            for (variant, lat, e, c) in &rows {
+                println!("{name},{batch},{variant},{lat},{e:.1},{c:.6e}");
+            }
+            let full_cost = rows.last().expect("rows non-empty").3;
+            eprintln!(
+                "[ablation] {name} b{batch}: full vs cocco {:.2}x cost, vs linked {:.2}x, vs no-alloc {:.2}x",
+                rows[0].3 / full_cost,
+                rows[3].3 / full_cost,
+                rows[2].3 / full_cost
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 6: overall comparison of Cocco vs SoMa stage 1 (`Ours_1`) vs
+//! SoMa stage 2 (`Ours_2`) across workloads, platforms and batch sizes.
+//!
+//! CSV columns: `platform,workload,batch,scheme,latency_cycles,`
+//! `core_energy_pj,dram_energy_pj,compute_util,dram_util,`
+//! `theoretical_max_util,avg_buffer_bytes,peak_buffer_bytes,`
+//! `lgs,flgs,tiles,dram_tensors` (scheme shape, consumed by the `stats`
+//! binary).
+//!
+//! Environment: `SOMA_FULL=1` sweeps batches {1,4,16,64} (paper grid),
+//! `SOMA_EFFORT` scales search effort, `SOMA_THREADS` caps parallelism.
+
+use std::sync::Mutex;
+
+use soma_bench::{batch_sizes, config_for, env_u64, platforms, salt, workloads};
+use soma_core::parse_lfa;
+use soma_model::Network;
+use soma_search::{schedule, schedule_cocco, Evaluated};
+
+fn row(platform: &str, net: &Network, batch: u32, scheme: &str, e: &Evaluated) -> String {
+    let r = &e.report;
+    let plan = parse_lfa(net, &e.encoding.lfa).expect("reported scheme parses");
+    format!(
+        "{platform},{},{batch},{scheme},{},{:.1},{:.1},{:.6},{:.6},{:.6},{},{},{},{},{},{}",
+        net.name(),
+        r.latency_cycles,
+        r.energy.core_pj,
+        r.energy.dram_pj,
+        r.compute_util,
+        r.dram_util,
+        r.theoretical_max_util,
+        r.avg_buffer,
+        r.peak_buffer,
+        plan.n_lgs(),
+        plan.flgs.len(),
+        plan.tiles.len(),
+        plan.dram_tensors.len()
+    )
+}
+
+fn main() {
+    println!(
+        "platform,workload,batch,scheme,latency_cycles,core_energy_pj,dram_energy_pj,\
+         compute_util,dram_util,theoretical_max_util,avg_buffer_bytes,peak_buffer_bytes,\
+         lgs,flgs,tiles,dram_tensors"
+    );
+
+    // Build the work list: one cell per (platform, batch, workload).
+    struct Cell {
+        platform: soma_arch::HardwareConfig,
+        batch: u32,
+        net: soma_model::Network,
+    }
+    let mut cells = Vec::new();
+    for platform in platforms() {
+        for batch in batch_sizes() {
+            for net in workloads(&platform, batch) {
+                cells.push(Cell { platform: platform.clone(), batch, net });
+            }
+        }
+    }
+
+    let threads = env_u64("SOMA_THREADS", std::thread::available_parallelism().map_or(4, |n| n.get() as u64))
+        as usize;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out = Mutex::new(());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let name = cell.net.name().to_string();
+                let cfg = config_for(
+                    &cell.net,
+                    salt(&["fig6", &cell.platform.name, &name, &cell.batch.to_string()]),
+                );
+                let cocco = schedule_cocco(&cell.net, &cell.platform, &cfg);
+                let soma = schedule(&cell.net, &cell.platform, &cfg);
+                let mut rows = String::new();
+                for (scheme, e) in [
+                    ("cocco", &cocco),
+                    ("ours_1", &soma.stage1),
+                    ("ours_2", &soma.best),
+                ] {
+                    rows.push_str(&row(&cell.platform.name, &cell.net, cell.batch, scheme, e));
+                    rows.push('\n');
+                }
+                let _guard = out.lock().expect("stdout lock");
+                print!("{rows}");
+                eprintln!(
+                    "[fig6] {} {} b{}: speedup {:.2}x (stage1 {:.2}x), energy -{:.1}%",
+                    cell.platform.name,
+                    name,
+                    cell.batch,
+                    cocco.report.latency_cycles as f64 / soma.best.report.latency_cycles as f64,
+                    cocco.report.latency_cycles as f64 / soma.stage1.report.latency_cycles as f64,
+                    100.0 * (1.0
+                        - soma.best.report.energy.total_pj() / cocco.report.energy.total_pj())
+                );
+            });
+        }
+    });
+}

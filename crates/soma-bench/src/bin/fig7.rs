@@ -1,0 +1,111 @@
+//! Fig. 7: design-space exploration over DRAM bandwidth x buffer size for
+//! the 16-TOPS edge accelerator, per workload and batch size, for both
+//! Cocco and SoMa.
+//!
+//! CSV columns: `scheduler,workload,batch,buffer_mib,dram_gbps,`
+//! `latency_cycles,latency_ms`.
+//!
+//! The paper's insights to reproduce: at batch 1 latency tracks bandwidth
+//! and barely responds to buffer size; as batch grows, buffer size
+//! substitutes for bandwidth under SoMa (the red "envelope" triangle),
+//! but not under Cocco.
+//!
+//! Environment: `SOMA_FULL=1` for the full grid, `SOMA_WORKLOAD` to
+//! restrict to one workload name substring, `SOMA_THREADS`.
+
+use std::sync::Mutex;
+
+use soma_arch::HardwareConfig;
+use soma_bench::{batch_sizes, config_for, env_u64, salt};
+use soma_model::zoo;
+use soma_search::{schedule, schedule_cocco};
+
+fn grids() -> (Vec<u64>, Vec<f64>) {
+    if env_u64("SOMA_FULL", 0) == 1 {
+        (vec![2, 4, 8, 16, 32, 64], vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0])
+    } else {
+        (vec![4, 8, 32], vec![8.0, 16.0, 64.0])
+    }
+}
+
+fn main() {
+    let (buffers, bandwidths) = grids();
+    let filter = std::env::var("SOMA_WORKLOAD").unwrap_or_default();
+
+    println!("scheduler,workload,batch,buffer_mib,dram_gbps,latency_cycles,latency_ms");
+
+    struct Cell {
+        net: soma_model::Network,
+        batch: u32,
+        mib: u64,
+        gbps: f64,
+    }
+    let mut cells = Vec::new();
+    for batch in batch_sizes() {
+        for net in zoo::edge_suite(batch) {
+            if !filter.is_empty() && !net.name().contains(&filter) {
+                continue;
+            }
+            for &mib in &buffers {
+                for &gbps in &bandwidths {
+                    cells.push(Cell { net: net.clone(), batch, mib, gbps });
+                }
+            }
+        }
+    }
+
+    let threads = env_u64(
+        "SOMA_THREADS",
+        std::thread::available_parallelism().map_or(4, |n| n.get() as u64),
+    ) as usize;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out = Mutex::new(());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let hw = HardwareConfig::builder()
+                    .like(&HardwareConfig::edge())
+                    .name(format!("edge-{}MB-{}GBps", cell.mib, cell.gbps))
+                    .buffer_mib(cell.mib)
+                    .dram_gbps(cell.gbps)
+                    .build();
+                let name = cell.net.name().to_string();
+                let cfg = config_for(
+                    &cell.net,
+                    salt(&[
+                        "fig7",
+                        &name,
+                        &cell.batch.to_string(),
+                        &cell.mib.to_string(),
+                        &cell.gbps.to_string(),
+                    ]),
+                );
+                let cocco = schedule_cocco(&cell.net, &hw, &cfg);
+                let soma = schedule(&cell.net, &hw, &cfg);
+                let mut rows = String::new();
+                for (scheduler, cycles) in [
+                    ("cocco", cocco.report.latency_cycles),
+                    ("soma", soma.best.report.latency_cycles),
+                ] {
+                    rows.push_str(&format!(
+                        "{scheduler},{name},{},{},{},{},{:.4}\n",
+                        cell.batch,
+                        cell.mib,
+                        cell.gbps,
+                        cycles,
+                        hw.cycles_to_seconds(cycles) * 1e3
+                    ));
+                }
+                let _guard = out.lock().expect("stdout lock");
+                print!("{rows}");
+                eprintln!(
+                    "[fig7] {name} b{} {}MB {}GB/s done",
+                    cell.batch, cell.mib, cell.gbps
+                );
+            });
+        }
+    });
+}

@@ -1,0 +1,60 @@
+//! Fig. 8: practical execution graphs of Cocco, SoMa stage 1 and SoMa
+//! stage 2, with DRAM cuts / FLCs / tiling numbers annotated — rendered as
+//! ASCII DRAM-COMPUTE timelines.
+//!
+//! Default workload is a ResNet-50 prefix (full ResNet-50 renders but is
+//! wide); pass a name substring to choose from the edge suite, e.g.
+//! `cargo run --release --bin fig8 -- gpt2`.
+
+use soma_arch::HardwareConfig;
+use soma_bench::{config_for, salt};
+use soma_core::ParsedSchedule;
+use soma_model::zoo;
+use soma_search::{schedule, schedule_cocco, Evaluated};
+use soma_sim::render_gantt;
+
+fn describe(net: &soma_model::Network, eval: &Evaluated) {
+    let lfa = &eval.encoding.lfa;
+    let ranges = lfa.flg_ranges();
+    print!("FLGs: ");
+    for (g, &(a, b)) in ranges.iter().enumerate() {
+        let cut = if g > 0 && lfa.dram_cuts.contains(&a) { "||" } else if g > 0 { "|" } else { "" };
+        print!("{cut}[T={}:", lfa.tiling[g]);
+        for p in a..b {
+            print!(" {}", net.layer(lfa.order[p]).name);
+        }
+        print!("] ");
+    }
+    println!("\n('||' = DRAM cut, '|' = FLC only)");
+}
+
+fn main() {
+    let pick = std::env::args().nth(1).unwrap_or_else(|| "resnet".into());
+    let net = zoo::edge_suite(1)
+        .into_iter()
+        .find(|n| n.name().contains(&pick))
+        .unwrap_or_else(|| zoo::chain(1, 64, 56, 8));
+    let hw = HardwareConfig::edge();
+    let cfg = config_for(&net, salt(&["fig8", net.name()]));
+
+    eprintln!("[fig8] scheduling {} (effort {:.3})...", net.name(), cfg.effort);
+    let cocco = schedule_cocco(&net, &hw, &cfg);
+    let soma = schedule(&net, &hw, &cfg);
+
+    for (title, eval) in [
+        ("Cocco", &cocco),
+        ("SoMa first stage", &soma.stage1),
+        ("SoMa second stage", &soma.best),
+    ] {
+        println!("==== {title} ====");
+        describe(&net, eval);
+        let sched = ParsedSchedule::new(&net, &eval.encoding).expect("scheme parses");
+        println!("{}", render_gantt(&net, &sched, &eval.report.timeline, 120));
+        println!(
+            "latency {} cycles | E*D cost {:.3e} | compute stall {} cycles\n",
+            eval.report.latency_cycles,
+            eval.cost,
+            eval.report.timeline.compute_stall()
+        );
+    }
+}

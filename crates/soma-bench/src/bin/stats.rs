@@ -1,0 +1,124 @@
+//! Sec. VI-B aggregate statistics ("stats.log" of the paper's artifact),
+//! computed from a `fig6` CSV (default `results/fig6.csv`, or pass a
+//! path):
+//!
+//! * average speedup of `Ours_1` and `Ours_2` over Cocco, and energy
+//!   reduction;
+//! * gap between `Ours_2` and the theoretical maximum utilisation;
+//! * average LGs/FLGs/tiles per network (SoMa vs Cocco);
+//! * GPT-2 decode utilisation vs batch size (the KV-cache saturation
+//!   phenomenon).
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Default)]
+struct Row {
+    latency: f64,
+    core_pj: f64,
+    dram_pj: f64,
+    util: f64,
+    theo: f64,
+    lgs: f64,
+    flgs: f64,
+    tiles: f64,
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results/fig6.csv".into());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}; run the fig6 binary first"));
+
+    // cell key = (platform, workload, batch) -> scheme -> row
+    let mut cells: BTreeMap<(String, String, u32), BTreeMap<String, Row>> = BTreeMap::new();
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() < 16 {
+            continue;
+        }
+        let key = (f[0].to_string(), f[1].to_string(), f[2].parse().unwrap_or(0));
+        let row = Row {
+            latency: f[4].parse().unwrap_or(0.0),
+            core_pj: f[5].parse().unwrap_or(0.0),
+            dram_pj: f[6].parse().unwrap_or(0.0),
+            util: f[7].parse().unwrap_or(0.0),
+            theo: f[9].parse().unwrap_or(0.0),
+            lgs: f[12].parse().unwrap_or(0.0),
+            flgs: f[13].parse().unwrap_or(0.0),
+            tiles: f[14].parse().unwrap_or(0.0),
+        };
+        cells.entry(key).or_default().insert(f[3].to_string(), row);
+    }
+
+    let mut speedup1 = Vec::new();
+    let mut speedup2 = Vec::new();
+    let mut energy_red = Vec::new();
+    let mut core_red = Vec::new();
+    let mut dram_red = Vec::new();
+    let mut theo_gap = Vec::new();
+    let mut soma_lgs = Vec::new();
+    let mut soma_flgs = Vec::new();
+    let mut soma_tiles = Vec::new();
+    let mut cocco_lgs = Vec::new();
+    let mut cocco_tiles = Vec::new();
+    let mut decode_util: Vec<(String, u32, f64)> = Vec::new();
+
+    for ((_, workload, batch), schemes) in &cells {
+        let (Some(c), Some(s1), Some(s2)) =
+            (schemes.get("cocco"), schemes.get("ours_1"), schemes.get("ours_2"))
+        else {
+            continue;
+        };
+        speedup1.push(c.latency / s1.latency);
+        speedup2.push(c.latency / s2.latency);
+        let (ce, se) = (c.core_pj + c.dram_pj, s2.core_pj + s2.dram_pj);
+        energy_red.push(1.0 - se / ce);
+        if c.core_pj > 0.0 {
+            core_red.push(1.0 - s1.core_pj / c.core_pj);
+        }
+        if c.dram_pj > 0.0 {
+            dram_red.push(1.0 - s1.dram_pj / c.dram_pj);
+        }
+        if s2.theo > 0.0 {
+            theo_gap.push(1.0 - s2.util / s2.theo);
+        }
+        soma_lgs.push(s2.lgs);
+        soma_flgs.push(s2.flgs);
+        soma_tiles.push(s2.tiles);
+        cocco_lgs.push(c.lgs);
+        cocco_tiles.push(c.tiles);
+        if workload.contains("decode") {
+            decode_util.push((workload.clone(), *batch, s2.util));
+        }
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("== SoMa vs Cocco over {} configurations (paper Sec. VI-B) ==", speedup2.len());
+    println!("avg stage-1 speedup over Cocco:    {:.2}x  (paper: 1.82x)", avg(&speedup1));
+    println!("avg stage-2 speedup over Cocco:    {:.2}x  (paper: 2.11x)", avg(&speedup2));
+    println!(
+        "avg stage2/stage1 improvement:     {:.2}x  (paper: 1.16x)",
+        avg(&speedup2) / avg(&speedup1).max(1e-12)
+    );
+    println!("avg energy reduction vs Cocco:     {:.1}%  (paper: 37.3%)", 100.0 * avg(&energy_red));
+    println!("avg stage-1 core-energy reduction: {:.1}%  (paper: 34.8%)", 100.0 * avg(&core_red));
+    println!("avg stage-1 DRAM-energy reduction: {:.1}%  (paper: 44.3%)", 100.0 * avg(&dram_red));
+    println!("avg gap to theoretical max util:   {:.1}%  (paper: 3.1%)", 100.0 * avg(&theo_gap));
+    println!();
+    println!(
+        "avg LGs per network   SoMa {:.1} vs Cocco {:.1}  (paper: 2.5 vs 13.0)",
+        avg(&soma_lgs),
+        avg(&cocco_lgs)
+    );
+    println!("avg FLGs per network  SoMa {:.1}  (paper: 3.9)", avg(&soma_flgs));
+    println!(
+        "avg tiles per network SoMa {:.0} vs Cocco {:.0}  (paper: 751 vs 7962)",
+        avg(&soma_tiles),
+        avg(&cocco_tiles)
+    );
+    println!();
+    println!("== GPT-2 decode utilisation vs batch (paper: 0.66/2.03/4.26/5.84% small; 0.60/1.90/4.13/5.83% XL) ==");
+    decode_util.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    for (name, batch, util) in decode_util {
+        println!("{name} batch {batch}: {:.2}%", 100.0 * util);
+    }
+}

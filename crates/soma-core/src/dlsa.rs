@@ -1,0 +1,158 @@
+//! DRAM-load-and-store-related attributes (DLSA): the DRAM Tensor Order
+//! and per-tensor Living Durations (paper Sec. IV-A2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseError;
+use crate::plan::ComputePlan;
+
+/// Stage-2 attributes over the DRAM tensor set of a [`ComputePlan`].
+///
+/// Tensors are identified by their index in the plan's canonical
+/// enumeration. Living durations follow the paper's semantics:
+///
+/// * **Loads** (weights, ifmaps): `end` is *fixed* at the tile after the
+///   last use; `start` is the schedulable knob — the load may begin once
+///   the tile *before* `start` has finished (`start == 0` means
+///   immediately), and buffer is held from `start` onwards.
+/// * **Stores** (ofmaps): `start` is *fixed* at the producing tile; `end`
+///   is the schedulable knob — the tile with global index `end` may not
+///   begin until the store completes. `end == n_tiles` is the `END`
+///   sentinel (no compute tile waits on it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dlsa {
+    /// Execution order: `order[k]` is the canonical tensor index that the
+    /// DRAM engine serves `k`-th.
+    pub order: Vec<u32>,
+    /// Living-duration start of each tensor (canonical index).
+    pub start: Vec<u32>,
+    /// Living-duration end of each tensor (canonical index).
+    pub end: Vec<u32>,
+}
+
+impl Dlsa {
+    /// The classical double-buffer strategy (paper Sec. III-B): prefetch
+    /// each load during the tile before its first use, drain each store
+    /// during the tile after its producer. This is the implicit DLSA of
+    /// SoMa's first stage and of the Cocco baseline.
+    pub fn double_buffer(plan: &ComputePlan) -> Self {
+        let n_tiles = plan.n_tiles();
+        let mut start = Vec::with_capacity(plan.dram_tensors.len());
+        let mut end = Vec::with_capacity(plan.dram_tensors.len());
+        for t in &plan.dram_tensors {
+            if t.is_load {
+                start.push(t.anchor.saturating_sub(1));
+                end.push(t.last_use + 1);
+            } else {
+                start.push(t.anchor);
+                end.push((t.anchor + 2).min(n_tiles));
+            }
+        }
+        Self { order: (0..plan.dram_tensors.len() as u32).collect(), start, end }
+    }
+
+    /// Checks this DLSA against the plan it is meant for.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::DlsaNotPermutation`] if `order` is not a permutation
+    /// of the tensor set, [`ParseError::BadLivingDuration`] if any bound
+    /// leaves its legal range.
+    pub fn validate(&self, plan: &ComputePlan) -> Result<(), ParseError> {
+        let n = plan.dram_tensors.len();
+        if self.order.len() != n || self.start.len() != n || self.end.len() != n {
+            return Err(ParseError::DlsaNotPermutation);
+        }
+        let mut seen = vec![false; n];
+        for &i in &self.order {
+            let i = i as usize;
+            if i >= n || seen[i] {
+                return Err(ParseError::DlsaNotPermutation);
+            }
+            seen[i] = true;
+        }
+        let n_tiles = plan.n_tiles();
+        for (i, t) in plan.dram_tensors.iter().enumerate() {
+            if t.is_load {
+                // Start may be anywhere in [0, anchor]; End is fixed.
+                if self.start[i] > t.anchor || self.end[i] != t.last_use + 1 {
+                    return Err(ParseError::BadLivingDuration { tensor: i });
+                }
+            } else {
+                // Start fixed at the producer; End in (anchor, n_tiles].
+                if self.start[i] != t.anchor
+                    || self.end[i] <= t.anchor
+                    || self.end[i] > n_tiles
+                {
+                    return Err(ParseError::BadLivingDuration { tensor: i });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Lfa;
+    use crate::plan::parse_lfa;
+    use soma_model::zoo;
+
+    fn plan() -> ComputePlan {
+        let net = zoo::fig2(1);
+        parse_lfa(&net, &Lfa::unfused(&net, 2)).unwrap()
+    }
+
+    #[test]
+    fn double_buffer_is_valid() {
+        let p = plan();
+        let d = Dlsa::double_buffer(&p);
+        assert!(d.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn double_buffer_prefetches_one_tile() {
+        let p = plan();
+        let d = Dlsa::double_buffer(&p);
+        for (i, t) in p.dram_tensors.iter().enumerate() {
+            if t.is_load {
+                assert_eq!(d.start[i], t.anchor.saturating_sub(1));
+            } else {
+                assert_eq!(d.end[i], (t.anchor + 2).min(p.n_tiles()));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_order() {
+        let p = plan();
+        let mut d = Dlsa::double_buffer(&p);
+        d.order[1] = d.order[0];
+        assert!(matches!(d.validate(&p), Err(ParseError::DlsaNotPermutation)));
+    }
+
+    #[test]
+    fn validate_rejects_late_load_start() {
+        let p = plan();
+        let mut d = Dlsa::double_buffer(&p);
+        let load = p.dram_tensors.iter().position(|t| t.is_load).unwrap();
+        d.start[load] = p.dram_tensors[load].anchor + 1;
+        assert!(matches!(
+            d.validate(&p),
+            Err(ParseError::BadLivingDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_store_end_at_producer() {
+        let p = plan();
+        let mut d = Dlsa::double_buffer(&p);
+        let st = p.dram_tensors.iter().position(|t| !t.is_load).unwrap();
+        d.end[st] = p.dram_tensors[st].anchor;
+        assert!(matches!(
+            d.validate(&p),
+            Err(ParseError::BadLivingDuration { .. })
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors of the notation parser.
+
+use soma_model::LayerId;
+
+/// Why an encoding could not be parsed into a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The computing order is not a permutation of the network's layers.
+    OrderNotPermutation,
+    /// The computing order violates a data dependency (paper Sec. IV-A1:
+    /// "a valid Computing Order cannot have any dependency that goes from
+    /// right to left").
+    OrderNotTopological { producer: LayerId, consumer: LayerId },
+    /// An FLC position is outside `1..len`.
+    BadCutPosition { pos: usize },
+    /// A DRAM cut is not a member of the FLC set (the DRAM Cut Set must be
+    /// a subset of the FLC Set).
+    DramCutNotFlc { pos: usize },
+    /// Wrong number of tiling numbers (must equal the FLG count).
+    TilingCountMismatch { expected: usize, got: usize },
+    /// A tiling number is zero or not a power of two.
+    BadTilingNumber { flg: usize, tiling: u32 },
+    /// A layer that needs one of its inputs in full (attention operand,
+    /// global pooling) shares an FLG with that input's producer.
+    FullInputInsideFlg { consumer: LayerId },
+    /// DLSA order is not a permutation of the DRAM tensor set.
+    DlsaNotPermutation,
+    /// A living-duration bound is outside its legal range.
+    BadLivingDuration { tensor: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::OrderNotPermutation => {
+                write!(f, "computing order is not a permutation of the layers")
+            }
+            ParseError::OrderNotTopological { producer, consumer } => write!(
+                f,
+                "computing order places consumer {consumer} before its producer {producer}"
+            ),
+            ParseError::BadCutPosition { pos } => write!(f, "cut position {pos} out of range"),
+            ParseError::DramCutNotFlc { pos } => {
+                write!(f, "DRAM cut {pos} is not in the FLC set")
+            }
+            ParseError::TilingCountMismatch { expected, got } => {
+                write!(f, "expected {expected} tiling numbers, got {got}")
+            }
+            ParseError::BadTilingNumber { flg, tiling } => {
+                write!(f, "FLG {flg} has invalid tiling number {tiling}")
+            }
+            ParseError::FullInputInsideFlg { consumer } => write!(
+                f,
+                "layer {consumer} needs a full input but shares an FLG with its producer"
+            ),
+            ParseError::DlsaNotPermutation => {
+                write!(f, "DLSA order is not a permutation of the DRAM tensors")
+            }
+            ParseError::BadLivingDuration { tensor } => {
+                write!(f, "living duration of DRAM tensor {tensor} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,218 @@
+//! Lowering a parsed schedule into the abstract instruction stream.
+//!
+//! The paper's accelerator template exposes three abstract instructions
+//! (Sec. II): `load` (DRAM -> GBUF), `store` (GBUF -> DRAM) and `compute`
+//! (one tile on the core group). The start and end of any instruction can
+//! serve as a trigger marker for another; we emit explicit dependencies so
+//! an instruction generator for a concrete chip (paper Sec. V-E/F) only
+//! has to translate opcode + operands.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::DramKind;
+use crate::ParsedSchedule;
+
+/// An abstract instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Move a tensor from DRAM into the GBUF.
+    Load {
+        /// Canonical DRAM-tensor index.
+        tensor: u32,
+        /// Transfer size.
+        bytes: u64,
+        /// Kind tag (weight/ifmap) for the backend.
+        kind: DramKind,
+        /// The compute tile whose completion releases this load to start
+        /// (`None` = may start immediately, subject to queue order).
+        after_tile: Option<u32>,
+    },
+    /// Move a tensor from the GBUF to DRAM.
+    Store {
+        /// Canonical DRAM-tensor index.
+        tensor: u32,
+        /// Transfer size.
+        bytes: u64,
+        /// Kind tag for the backend.
+        kind: DramKind,
+        /// The producing tile (must complete first).
+        after_tile: u32,
+    },
+    /// Execute one computing tile.
+    Compute {
+        /// Global tile index.
+        tile: u32,
+        /// Operation count (for the backend's cost annotations).
+        ops: u64,
+        /// DRAM tensors (canonical indices) whose completion gates this
+        /// tile: its own loads plus stores whose `End` equals this tile.
+        wait_for: Vec<u32>,
+    },
+}
+
+/// A lowered instruction stream: the DRAM queue and the compute queue, each
+/// in issue order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// `load`/`store` instructions in DRAM Tensor Order.
+    pub dram_queue: Vec<Instr>,
+    /// `compute` instructions in tile order.
+    pub compute_queue: Vec<Instr>,
+}
+
+impl Program {
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.dram_queue.len() + self.compute_queue.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the program as a textual assembly listing — the shape a
+    /// chip-specific instruction generator consumes (paper Sec. V-F's IR).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("; DRAM queue\n");
+        for instr in &self.dram_queue {
+            match instr {
+                Instr::Load { tensor, bytes, kind, after_tile } => {
+                    let gate = after_tile
+                        .map_or_else(|| "-".to_string(), |t| format!("tile{t}"));
+                    out.push_str(&format!("load  t{tensor:<5} {bytes:>10}B after {gate:<8} ; {kind:?}\n"));
+                }
+                Instr::Store { tensor, bytes, kind, after_tile } => {
+                    out.push_str(&format!(
+                        "store t{tensor:<5} {bytes:>10}B after tile{after_tile:<4} ; {kind:?}\n"
+                    ));
+                }
+                Instr::Compute { .. } => unreachable!("compute lives in the compute queue"),
+            }
+        }
+        out.push_str("; COMPUTE queue\n");
+        for instr in &self.compute_queue {
+            if let Instr::Compute { tile, ops, wait_for } = instr {
+                let waits: Vec<String> = wait_for.iter().map(|w| format!("t{w}")).collect();
+                out.push_str(&format!(
+                    "comp  tile{tile:<4} {ops:>12}ops wait [{}]\n",
+                    waits.join(",")
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Lowers a parsed schedule into a [`Program`].
+pub fn lower(sched: &ParsedSchedule) -> Program {
+    let plan = &sched.plan;
+    let dlsa = &sched.dlsa;
+
+    let mut dram_queue = Vec::with_capacity(plan.dram_tensors.len());
+    for &ti in &dlsa.order {
+        let t = &plan.dram_tensors[ti as usize];
+        if t.is_load {
+            let start = dlsa.start[ti as usize];
+            dram_queue.push(Instr::Load {
+                tensor: ti,
+                bytes: t.bytes,
+                kind: t.kind,
+                after_tile: if start == 0 { None } else { Some(start - 1) },
+            });
+        } else {
+            dram_queue.push(Instr::Store {
+                tensor: ti,
+                bytes: t.bytes,
+                kind: t.kind,
+                after_tile: t.anchor,
+            });
+        }
+    }
+
+    // Per-tile gating tensors: the tile's own loads plus stores with
+    // End == tile.
+    let mut waits: Vec<Vec<u32>> = vec![Vec::new(); plan.n_tiles() as usize];
+    for (i, t) in plan.dram_tensors.iter().enumerate() {
+        if t.is_load {
+            waits[t.anchor as usize].push(i as u32);
+        } else {
+            let end = dlsa.end[i];
+            if (end as usize) < waits.len() {
+                waits[end as usize].push(i as u32);
+            }
+        }
+    }
+    let compute_queue = plan
+        .tiles
+        .iter()
+        .enumerate()
+        .map(|(pos, tile)| Instr::Compute {
+            tile: pos as u32,
+            ops: tile.ops,
+            wait_for: std::mem::take(&mut waits[pos]),
+        })
+        .collect();
+
+    Program { dram_queue, compute_queue }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Encoding, Lfa};
+    use soma_model::zoo;
+
+    fn program() -> Program {
+        let net = zoo::fig2(1);
+        let enc = Encoding::from_lfa(Lfa::unfused(&net, 2));
+        let sched = ParsedSchedule::new(&net, &enc).unwrap();
+        lower(&sched)
+    }
+
+    #[test]
+    fn one_instruction_per_tensor_and_tile() {
+        let net = zoo::fig2(1);
+        let enc = Encoding::from_lfa(Lfa::unfused(&net, 2));
+        let sched = ParsedSchedule::new(&net, &enc).unwrap();
+        let prog = lower(&sched);
+        assert_eq!(prog.dram_queue.len(), sched.plan.dram_tensors.len());
+        assert_eq!(prog.compute_queue.len(), sched.plan.tiles.len());
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn every_tile_with_inputs_waits_on_its_loads() {
+        let prog = program();
+        // Tile 0 consumes the network input and weights: must wait.
+        match &prog.compute_queue[0] {
+            Instr::Compute { wait_for, .. } => assert!(!wait_for.is_empty()),
+            other => panic!("expected compute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_listing_covers_every_instruction() {
+        let prog = program();
+        let text = prog.to_text();
+        assert_eq!(
+            text.matches('\n').count(),
+            prog.len() + 2, // one line per instruction + two headers
+        );
+        assert!(text.contains("load"));
+        assert!(text.contains("store"));
+        assert!(text.contains("comp"));
+    }
+
+    #[test]
+    fn stores_wait_on_their_producer() {
+        let prog = program();
+        for instr in &prog.dram_queue {
+            if let Instr::Store { after_tile, tensor, .. } = instr {
+                // Producer index equals the tensor anchor by construction.
+                assert!(*after_tile < prog.compute_queue.len() as u32, "{tensor}");
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Binary encoding of the abstract instruction stream.
+//!
+//! The end of the paper's compilation flow (Sec. V-A) emits instructions
+//! for the target chip. This module defines a compact, versioned binary
+//! layout for the abstract three-instruction ISA of Sec. II so backends
+//! (and tests) can round-trip programs without a serde dependency chain.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   "SOMA"            4 bytes
+//! version u16               currently 1
+//! n_dram  u32, n_comp u32
+//! then n_dram + n_comp instruction records:
+//!   opcode u8: 0 = load, 1 = store, 2 = compute
+//!   load:    kind_tag u8, layer u32, tile u32, input u32,
+//!            tensor u32, bytes u64, gate u32 (u32::MAX = none)
+//!   store:   same fields, gate = producing tile
+//!   compute: tile u32, ops u64, n_waits u32, waits u32 x n
+//! ```
+
+use crate::ir::{Instr, Program};
+use crate::plan::DramKind;
+use soma_model::LayerId;
+
+/// Binary decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Truncated input.
+    Truncated,
+    /// Unknown opcode or kind tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "missing SOMA magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported program version {v}"),
+            DecodeError::Truncated => write!(f, "truncated program"),
+            DecodeError::BadTag(t) => write!(f, "unknown opcode or kind tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"SOMA";
+const VERSION: u16 = 1;
+const NO_GATE: u32 = u32::MAX;
+
+fn put_kind(out: &mut Vec<u8>, kind: DramKind) {
+    match kind {
+        DramKind::Weight(l) => {
+            out.push(0);
+            out.extend_from_slice(&l.0.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        DramKind::Ifmap { layer, tile, input } => {
+            out.push(1);
+            out.extend_from_slice(&layer.0.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            out.extend_from_slice(&input.to_le_bytes());
+        }
+        DramKind::Ofmap { layer, tile } => {
+            out.push(2);
+            out.extend_from_slice(&layer.0.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn kind(&mut self) -> Result<DramKind, DecodeError> {
+        let tag = self.u8()?;
+        let layer = LayerId(self.u32()?);
+        let tile = self.u32()?;
+        let input = self.u32()?;
+        match tag {
+            0 => Ok(DramKind::Weight(layer)),
+            1 => Ok(DramKind::Ifmap { layer, tile, input }),
+            2 => Ok(DramKind::Ofmap { layer, tile }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// Encodes a program to bytes.
+pub fn encode(prog: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + prog.len() * 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(prog.dram_queue.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(prog.compute_queue.len() as u32).to_le_bytes());
+    for instr in prog.dram_queue.iter().chain(&prog.compute_queue) {
+        match instr {
+            Instr::Load { tensor, bytes, kind, after_tile } => {
+                out.push(0);
+                put_kind(&mut out, *kind);
+                out.extend_from_slice(&tensor.to_le_bytes());
+                out.extend_from_slice(&bytes.to_le_bytes());
+                out.extend_from_slice(&after_tile.unwrap_or(NO_GATE).to_le_bytes());
+            }
+            Instr::Store { tensor, bytes, kind, after_tile } => {
+                out.push(1);
+                put_kind(&mut out, *kind);
+                out.extend_from_slice(&tensor.to_le_bytes());
+                out.extend_from_slice(&bytes.to_le_bytes());
+                out.extend_from_slice(&after_tile.to_le_bytes());
+            }
+            Instr::Compute { tile, ops, wait_for } => {
+                out.push(2);
+                out.extend_from_slice(&tile.to_le_bytes());
+                out.extend_from_slice(&ops.to_le_bytes());
+                out.extend_from_slice(&(wait_for.len() as u32).to_le_bytes());
+                for w in wait_for {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a program from bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for malformed, truncated or unknown-version
+/// input.
+pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let n_dram = r.u32()? as usize;
+    let n_comp = r.u32()? as usize;
+
+    let mut dram_queue = Vec::with_capacity(n_dram);
+    let mut compute_queue = Vec::with_capacity(n_comp);
+    for i in 0..n_dram + n_comp {
+        let opcode = r.u8()?;
+        let instr = match opcode {
+            0 => {
+                let kind = r.kind()?;
+                let tensor = r.u32()?;
+                let bytes = r.u64()?;
+                let gate = r.u32()?;
+                Instr::Load {
+                    tensor,
+                    bytes,
+                    kind,
+                    after_tile: (gate != NO_GATE).then_some(gate),
+                }
+            }
+            1 => {
+                let kind = r.kind()?;
+                let tensor = r.u32()?;
+                let bytes = r.u64()?;
+                let after_tile = r.u32()?;
+                Instr::Store { tensor, bytes, kind, after_tile }
+            }
+            2 => {
+                let tile = r.u32()?;
+                let ops = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut wait_for = Vec::with_capacity(n);
+                for _ in 0..n {
+                    wait_for.push(r.u32()?);
+                }
+                Instr::Compute { tile, ops, wait_for }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        if i < n_dram {
+            dram_queue.push(instr);
+        } else {
+            compute_queue.push(instr);
+        }
+    }
+    Ok(Program { dram_queue, compute_queue })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Encoding, Lfa};
+    use crate::ir::lower;
+    use crate::ParsedSchedule;
+    use soma_model::zoo;
+
+    fn program() -> Program {
+        let net = zoo::fig4(1);
+        let mut lfa = Lfa::fully_fused(&net, 2);
+        lfa.flc = [1, 2].into_iter().collect();
+        lfa.dram_cuts = [2].into_iter().collect();
+        lfa.tiling = vec![2, 1, 2];
+        let sched = ParsedSchedule::new(&net, &Encoding { lfa, dlsa: None }).unwrap();
+        lower(&sched)
+    }
+
+    #[test]
+    fn round_trip() {
+        let prog = program();
+        let bytes = encode(&prog);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let prog = program();
+        let mut bytes = encode(&prog);
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+        let mut bytes = encode(&prog);
+        bytes[4] = 99;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode(&program());
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert!(r.is_err(), "decoding a {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let prog = program();
+        let mut bytes = encode(&prog);
+        bytes[14] = 9; // first opcode byte (after 14-byte header)
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadTag(9))));
+    }
+}

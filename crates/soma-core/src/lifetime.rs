@@ -1,0 +1,153 @@
+//! Static buffer-occupancy accounting.
+//!
+//! Every byte in the GBUF belongs to exactly one of:
+//!
+//! * an on-chip fused fmap ([`crate::OnchipInterval`], fixed by the LFA),
+//! * a DRAM load tensor, resident over `[start, end)` of its living
+//!   duration,
+//! * a DRAM store tensor, resident over `[anchor, end)` (until the tile
+//!   its completion gates; `END`-sentinel stores are conservatively held to
+//!   the last tile).
+//!
+//! Both optimisation paradigms trade buffer for DRAM traffic, so this
+//! profile is what the two SA stages compete over and what the Buffer
+//! Allocator budgets (paper Sec. III-C, V-B).
+
+use crate::dlsa::Dlsa;
+use crate::plan::ComputePlan;
+
+/// Per-tile GBUF occupancy in bytes (length `n_tiles`).
+///
+/// Index `t` is the occupancy while compute tile `t` executes.
+pub fn buffer_profile(plan: &ComputePlan, dlsa: &Dlsa) -> Vec<u64> {
+    let n = plan.n_tiles() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    // Difference array over tiles; intervals are [from, to] inclusive.
+    let mut diff = vec![0i64; n + 1];
+    let mut add = |from: u32, to_excl: u32, bytes: u64| {
+        let from = (from as usize).min(n);
+        let to = (to_excl as usize).min(n);
+        if from < to {
+            diff[from] += bytes as i64;
+            diff[to] -= bytes as i64;
+        }
+    };
+    for iv in &plan.onchip {
+        add(iv.from, iv.to + 1, iv.bytes);
+    }
+    for (i, t) in plan.dram_tensors.iter().enumerate() {
+        if t.is_load {
+            add(dlsa.start[i], t.last_use + 1, t.bytes);
+        } else {
+            add(t.anchor, dlsa.end[i].max(t.anchor + 1), t.bytes);
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut cur = 0i64;
+    for d in diff.iter().take(n) {
+        cur += d;
+        debug_assert!(cur >= 0, "buffer occupancy went negative");
+        out.push(cur as u64);
+    }
+    out
+}
+
+/// Peak of [`buffer_profile`].
+pub fn peak_buffer(plan: &ComputePlan, dlsa: &Dlsa) -> u64 {
+    buffer_profile(plan, dlsa).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Lfa;
+    use crate::plan::parse_lfa;
+    use soma_model::zoo;
+
+    #[test]
+    fn profile_length_matches_tiles() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::unfused(&net, 4)).unwrap();
+        let dlsa = Dlsa::double_buffer(&plan);
+        assert_eq!(buffer_profile(&plan, &dlsa).len(), plan.n_tiles() as usize);
+    }
+
+    #[test]
+    fn earlier_prefetch_raises_occupancy() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::unfused(&net, 4)).unwrap();
+        let mut dlsa = Dlsa::double_buffer(&plan);
+        let base: u64 = buffer_profile(&plan, &dlsa).iter().sum();
+        // Pull every load to the very beginning.
+        for (i, t) in plan.dram_tensors.iter().enumerate() {
+            if t.is_load {
+                dlsa.start[i] = 0;
+            }
+        }
+        let eager: u64 = buffer_profile(&plan, &dlsa).iter().sum();
+        assert!(eager > base);
+        assert!(peak_buffer(&plan, &dlsa) >= base / plan.n_tiles() as u64);
+    }
+
+    #[test]
+    fn fusion_keeps_fmaps_resident() {
+        let net = zoo::fig2(1);
+        let fused = parse_lfa(&net, &Lfa::fully_fused(&net, 4)).unwrap();
+        let d = Dlsa::double_buffer(&fused);
+        let profile = buffer_profile(&fused, &d);
+        // Weights of all three layers are live across the whole group,
+        // so occupancy is everywhere at least the total weight bytes.
+        let w: u64 = net.total_weight_bytes();
+        assert!(profile.iter().all(|&b| b >= w / 2));
+    }
+
+    #[test]
+    fn peak_of_empty_plan_is_zero() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::unfused(&net, 1)).unwrap();
+        let d = Dlsa::double_buffer(&plan);
+        assert!(peak_buffer(&plan, &d) > 0);
+    }
+
+    #[test]
+    fn end_sentinel_store_holds_buffer_to_the_last_tile() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::unfused(&net, 2)).unwrap();
+        let mut d = Dlsa::double_buffer(&plan);
+        let n = plan.n_tiles();
+        // Delay the first store to the END sentinel: its bytes must stay
+        // resident through the final tile.
+        let (si, bytes) = plan
+            .dram_tensors
+            .iter()
+            .enumerate()
+            .find(|(_, t)| !t.is_load)
+            .map(|(i, t)| (i, t.bytes))
+            .unwrap();
+        let before = buffer_profile(&plan, &d);
+        d.end[si] = n;
+        let after = buffer_profile(&plan, &d);
+        assert_eq!(after[n as usize - 1], before[n as usize - 1] + bytes);
+    }
+
+    #[test]
+    fn weight_release_frees_buffer_after_last_use() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::fully_fused(&net, 2)).unwrap();
+        let d = Dlsa::double_buffer(&plan);
+        let profile = buffer_profile(&plan, &d);
+        // Weights of layer A (first layer) are released after its last
+        // tile: occupancy must strictly include WA early and exclude it
+        // in the final tile (which only needs C's data).
+        let wa = net.layer(soma_model::LayerId(0)).weight_bytes;
+        assert!(wa > 0);
+        let last = *profile.last().unwrap();
+        let first = profile[0];
+        assert!(first > 0 && last > 0);
+        // The last tile no longer holds A's or B's weights.
+        let wb = net.layer(soma_model::LayerId(1)).weight_bytes;
+        assert!(last + wa + wb <= profile.iter().copied().max().unwrap() + wa + wb);
+    }
+}

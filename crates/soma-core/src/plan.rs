@@ -1,0 +1,549 @@
+//! Stage-1 parsing: LFA -> compute plan (paper Fig. 4(a)).
+
+use serde::{Deserialize, Serialize};
+use soma_model::{LayerId, Network, Src};
+
+use crate::encoding::Lfa;
+use crate::error::ParseError;
+use crate::tiles::{FlgLayout, TileShape};
+
+/// Largest admissible tiling number (paper schedules never approach this;
+/// it bounds plan size so invalid SA moves stay cheap to reject).
+pub const MAX_TILING: u32 = 4096;
+
+/// One computing tile: the unit of the COMPUTE row in the paper's
+/// DRAM-COMPUTE diagrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// The layer this tile belongs to.
+    pub layer: LayerId,
+    /// Tile index within the layer (`0..tiling`).
+    pub tile_idx: u32,
+    /// FLG index.
+    pub flg: u32,
+    /// LG index.
+    pub lg: u32,
+    /// Operations in this tile (halo recompute included).
+    pub ops: u64,
+    /// Per-tile output shape (with and without halo).
+    pub shape: TileShape,
+    /// Bytes of all inputs the tile reads from the GBUF.
+    pub in_bytes: u64,
+    /// Full weight bytes of the layer (resident while the tile runs).
+    pub weight_bytes: u64,
+    /// Tile ofmap bytes including halo (buffer view).
+    pub out_bytes: u64,
+    /// Tile ofmap bytes excluding halo (unique data, DRAM-store view).
+    pub out_bytes_nom: u64,
+    /// Whether the PE array executes this tile (GEMM/Conv class) as
+    /// opposed to the vector unit.
+    pub on_pe: bool,
+}
+
+/// What a DRAM tensor is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramKind {
+    /// A layer's weights (or DRAM-resident KV cache): loaded once, used by
+    /// every tile of the layer.
+    Weight(LayerId),
+    /// The ifmap region of one tile, loaded from DRAM.
+    Ifmap {
+        /// Consuming layer.
+        layer: LayerId,
+        /// Consuming tile index within the layer.
+        tile: u32,
+        /// Which of the layer's inputs this region feeds.
+        input: u32,
+    },
+    /// The ofmap of one tile, stored to DRAM.
+    Ofmap {
+        /// Producing layer.
+        layer: LayerId,
+        /// Producing tile index within the layer.
+        tile: u32,
+    },
+}
+
+/// A tensor that must move between DRAM and the GBUF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTensor {
+    /// What the tensor is.
+    pub kind: DramKind,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// `true` for loads (weights/ifmaps), `false` for stores (ofmaps).
+    pub is_load: bool,
+    /// Loads: global index of the first tile that uses the data (the load
+    /// must complete before it). Stores: global index of the producing
+    /// tile (the store may begin after it).
+    pub anchor: u32,
+    /// Loads: global index of the last tile using the data (buffer is
+    /// released after it; fixed `End = last_use + 1`). Stores: equals
+    /// `anchor`.
+    pub last_use: u32,
+}
+
+/// On-chip residency of a fused feature map (not a DRAM tensor): buffer is
+/// occupied from tile `from` through tile `to`, inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnchipInterval {
+    /// First global tile index during which the bytes are resident.
+    pub from: u32,
+    /// Last global tile index (inclusive).
+    pub to: u32,
+    /// Resident bytes.
+    pub bytes: u64,
+}
+
+/// The result of stage-1 parsing: tile sequence, DRAM tensor set (in
+/// canonical need-order), on-chip buffer residency and the group layouts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComputePlan {
+    /// All computing tiles, in execution order.
+    pub tiles: Vec<Tile>,
+    /// All DRAM tensors, enumerated in canonical need-order (loads of a
+    /// tile before it, store of a tile after it). A [`crate::Dlsa`]
+    /// permutes this set.
+    pub dram_tensors: Vec<DramTensor>,
+    /// On-chip fused-fmap residency intervals.
+    pub onchip: Vec<OnchipInterval>,
+    /// Per-FLG tiling layouts.
+    pub flgs: Vec<FlgLayout>,
+    /// FLG index of each layer (indexed by `LayerId`).
+    pub flg_of: Vec<u32>,
+    /// LG index of each FLG.
+    pub lg_of_flg: Vec<u32>,
+    /// Global tile positions of each layer (indexed by `LayerId`).
+    pub tile_pos: Vec<Vec<u32>>,
+}
+
+impl ComputePlan {
+    /// Number of tiles in the plan.
+    pub fn n_tiles(&self) -> u32 {
+        self.tiles.len() as u32
+    }
+
+    /// Number of LGs.
+    pub fn n_lgs(&self) -> usize {
+        self.lg_of_flg.last().map_or(0, |&l| l as usize + 1)
+    }
+
+    /// Total bytes moved to/from DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_tensors.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Total operations across all tiles (halo recompute included).
+    pub fn total_ops(&self) -> u64 {
+        self.tiles.iter().map(|t| t.ops).sum()
+    }
+}
+
+/// Parses the layer-fusion-related attributes into a [`ComputePlan`]
+/// (the paper's first parsing stage, Sec. IV-A1).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the order is not a topological
+/// permutation, cut/tiling attributes are malformed, or a full-input
+/// consumer shares an FLG with its producer.
+pub fn parse_lfa(net: &Network, lfa: &Lfa) -> Result<ComputePlan, ParseError> {
+    let n = net.len();
+
+    // --- Computing order: permutation + topological. ---
+    if lfa.order.len() != n {
+        return Err(ParseError::OrderNotPermutation);
+    }
+    let mut pos_of = vec![usize::MAX; n];
+    for (p, &id) in lfa.order.iter().enumerate() {
+        if id.index() >= n || pos_of[id.index()] != usize::MAX {
+            return Err(ParseError::OrderNotPermutation);
+        }
+        pos_of[id.index()] = p;
+    }
+    for (cid, layer) in net.iter() {
+        for &src in &layer.inputs {
+            if let Src::Layer(pid) = src {
+                if pos_of[pid.index()] >= pos_of[cid.index()] {
+                    return Err(ParseError::OrderNotTopological { producer: pid, consumer: cid });
+                }
+            }
+        }
+    }
+
+    // --- Cuts and tiling numbers. ---
+    for &p in &lfa.flc {
+        if p == 0 || p >= n {
+            return Err(ParseError::BadCutPosition { pos: p });
+        }
+    }
+    for &p in &lfa.dram_cuts {
+        if !lfa.flc.contains(&p) {
+            return Err(ParseError::DramCutNotFlc { pos: p });
+        }
+    }
+    let ranges = lfa.flg_ranges();
+    if lfa.tiling.len() != ranges.len() {
+        return Err(ParseError::TilingCountMismatch {
+            expected: ranges.len(),
+            got: lfa.tiling.len(),
+        });
+    }
+    for (g, &t) in lfa.tiling.iter().enumerate() {
+        if t == 0 || !t.is_power_of_two() || t > MAX_TILING {
+            return Err(ParseError::BadTilingNumber { flg: g, tiling: t });
+        }
+    }
+
+    // --- Group membership. ---
+    let mut flg_of = vec![0u32; n];
+    let mut lg_of_flg = Vec::with_capacity(ranges.len());
+    let mut lg = 0u32;
+    for (g, &(start, end)) in ranges.iter().enumerate() {
+        if g > 0 && lfa.dram_cuts.contains(&start) {
+            lg += 1;
+        }
+        lg_of_flg.push(lg);
+        for p in start..end {
+            flg_of[lfa.order[p].index()] = g as u32;
+        }
+    }
+    let lg_of = |id: LayerId| lg_of_flg[flg_of[id.index()] as usize];
+
+    // --- Full-input aggregation rule. ---
+    for (cid, layer) in net.iter() {
+        for (idx, &src) in layer.inputs.iter().enumerate() {
+            if let Src::Layer(pid) = src {
+                if layer.kind.needs_full_input(idx)
+                    && flg_of[pid.index()] == flg_of[cid.index()]
+                {
+                    return Err(ParseError::FullInputInsideFlg { consumer: cid });
+                }
+            }
+        }
+    }
+
+    // --- Layouts, tiles, positions. ---
+    let prec = u64::from(net.precision());
+    let mut flgs = Vec::with_capacity(ranges.len());
+    let mut tiles = Vec::new();
+    let mut tile_pos: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (g, &(start, end)) in ranges.iter().enumerate() {
+        let layers: Vec<LayerId> = lfa.order[start..end].to_vec();
+        let layout = FlgLayout::build(net, &layers, lfa.tiling[g]);
+        let t_count = lfa.tiling[g];
+        // Per-layer tile quantities are identical across tile indices:
+        // compute them once per layer.
+        let protos: Vec<Tile> = layers
+            .iter()
+            .enumerate()
+            .map(|(j, &id)| {
+                let layer = net.layer(id);
+                let shape = layout.shapes[j];
+                let ops = ((net.layer_ops(id) as u128 * shape.elems() as u128)
+                    / layer.ofmap.elems() as u128) as u64;
+                let in_bytes: u64 = (0..layer.inputs.len())
+                    .map(|idx| layout.input_tile_bytes(net, j, idx, false))
+                    .sum();
+                Tile {
+                    layer: id,
+                    tile_idx: 0,
+                    flg: g as u32,
+                    lg: lg_of_flg[g],
+                    ops,
+                    shape,
+                    in_bytes,
+                    weight_bytes: layer.weight_bytes,
+                    out_bytes: shape.elems() * prec,
+                    out_bytes_nom: shape.elems_nom() * prec,
+                    on_pe: layer.kind.is_gemm(),
+                }
+            })
+            .collect();
+        for &id in &layers {
+            tile_pos[id.index()] = Vec::with_capacity(t_count as usize);
+        }
+        tiles.reserve(t_count as usize * layers.len());
+        for i in 0..t_count {
+            for proto in &protos {
+                let pos = tiles.len() as u32;
+                tile_pos[proto.layer.index()].push(pos);
+                tiles.push(Tile { tile_idx: i, ..*proto });
+            }
+        }
+        flgs.push(layout);
+    }
+
+    // --- DRAM tensors in canonical need-order, plus on-chip intervals. ---
+    // Pre-derive, per layer: which inputs cross an LG boundary (with their
+    // per-tile load bytes) and whether its ofmap must be stored.
+    struct LayerDram {
+        crossing_inputs: Vec<(u32, u64)>, // (input index, bytes per tile)
+        stores: bool,
+    }
+    let mut per_layer: Vec<LayerDram> = Vec::with_capacity(n);
+    for (id, layer) in net.iter() {
+        let g = flg_of[id.index()] as usize;
+        let layout = &flgs[g];
+        let j = layout
+            .layers
+            .iter()
+            .position(|&l| l == id)
+            .expect("layer belongs to its FLG");
+        let crossing_inputs = layer
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &src)| match src {
+                Src::External(_) => true,
+                Src::Layer(p) => lg_of(p) != lg_of(id),
+            })
+            .map(|(idx, _)| (idx as u32, layout.input_tile_bytes(net, j, idx, false)))
+            .collect();
+        let stores =
+            net.is_output(id) || net.consumers(id).iter().any(|&c| lg_of(c) != lg_of(id));
+        per_layer.push(LayerDram { crossing_inputs, stores });
+    }
+    let mut dram_tensors = Vec::new();
+    for (pos, tile) in tiles.iter().enumerate() {
+        let pos = pos as u32;
+        let id = tile.layer;
+        let ld = &per_layer[id.index()];
+        // Weights load at the layer's first tile.
+        if tile.tile_idx == 0 && tile.weight_bytes > 0 {
+            let positions = &tile_pos[id.index()];
+            dram_tensors.push(DramTensor {
+                kind: DramKind::Weight(id),
+                bytes: tile.weight_bytes,
+                is_load: true,
+                anchor: positions[0],
+                last_use: *positions.last().expect("layer has at least one tile"),
+            });
+        }
+        // Ifmap loads for LG-crossing or external inputs.
+        for &(idx, bytes) in &ld.crossing_inputs {
+            dram_tensors.push(DramTensor {
+                kind: DramKind::Ifmap { layer: id, tile: tile.tile_idx, input: idx },
+                bytes,
+                is_load: true,
+                anchor: pos,
+                last_use: pos,
+            });
+        }
+        // Ofmap store if the output leaves the LG (or the network).
+        if ld.stores {
+            dram_tensors.push(DramTensor {
+                kind: DramKind::Ofmap { layer: id, tile: tile.tile_idx },
+                bytes: tile.out_bytes_nom,
+                is_load: false,
+                anchor: pos,
+                last_use: pos,
+            });
+        }
+    }
+
+    // On-chip residency, from the producer side.
+    let mut onchip = Vec::new();
+    for (pid, _) in net.iter() {
+        let same_lg: Vec<LayerId> = net
+            .consumers(pid)
+            .iter()
+            .copied()
+            .filter(|&c| lg_of(c) == lg_of(pid))
+            .collect();
+        if same_lg.is_empty() {
+            continue;
+        }
+        let all_same_flg = same_lg
+            .iter()
+            .all(|&c| flg_of[c.index()] == flg_of[pid.index()]);
+        let p_positions = &tile_pos[pid.index()];
+        if all_same_flg {
+            // Tile-wise hand-off within the FLG (Fig. 2 style).
+            let g = flg_of[pid.index()] as usize;
+            let layout = &flgs[g];
+            let j = layout.layers.iter().position(|&l| l == pid).expect("member");
+            let bytes = layout.shapes[j].elems() * prec;
+            for (i, &from) in p_positions.iter().enumerate() {
+                let to = same_lg
+                    .iter()
+                    .map(|&c| tile_pos[c.index()][i])
+                    .max()
+                    .expect("non-empty consumer set");
+                onchip.push(OnchipInterval { from, to, bytes });
+            }
+        } else {
+            // The full ofmap accumulates across an FLC (paper: the
+            // producing FLG must aggregate before the consuming FLG runs).
+            let from = p_positions[0];
+            let to = same_lg
+                .iter()
+                .map(|&c| *tile_pos[c.index()].last().expect("tiles"))
+                .max()
+                .expect("non-empty consumer set");
+            let bytes = net.ofmap_bytes(pid);
+            onchip.push(OnchipInterval { from, to, bytes });
+        }
+    }
+
+    Ok(ComputePlan { tiles, dram_tensors, onchip, flgs, flg_of, lg_of_flg, tile_pos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Lfa;
+    use soma_model::zoo;
+
+    #[test]
+    fn unfused_plan_counts() {
+        let net = zoo::fig2(1);
+        let lfa = Lfa::unfused(&net, 4);
+        let plan = parse_lfa(&net, &lfa).unwrap();
+        assert_eq!(plan.n_tiles(), 12); // 3 layers x 4 tiles
+        assert_eq!(plan.n_lgs(), 3);
+        // Every layer loads weights once, every tile loads ifmap and
+        // stores ofmap (all boundaries are DRAM cuts).
+        let weights = plan
+            .dram_tensors
+            .iter()
+            .filter(|t| matches!(t.kind, DramKind::Weight(_)))
+            .count();
+        assert_eq!(weights, 3);
+        let ifmaps = plan
+            .dram_tensors
+            .iter()
+            .filter(|t| matches!(t.kind, DramKind::Ifmap { .. }))
+            .count();
+        assert_eq!(ifmaps, 12);
+        let ofmaps = plan
+            .dram_tensors
+            .iter()
+            .filter(|t| matches!(t.kind, DramKind::Ofmap { .. }))
+            .count();
+        assert_eq!(ofmaps, 12);
+        assert!(plan.onchip.is_empty());
+    }
+
+    #[test]
+    fn fused_plan_drops_intermediate_dram_traffic() {
+        let net = zoo::fig2(1);
+        let fused = parse_lfa(&net, &Lfa::fully_fused(&net, 4)).unwrap();
+        let unfused = parse_lfa(&net, &Lfa::unfused(&net, 4)).unwrap();
+        assert!(fused.dram_bytes() < unfused.dram_bytes());
+        // Intermediate fmaps stay on chip: 2 producers x 4 tiles.
+        assert_eq!(fused.onchip.len(), 8);
+        // Only the network input is loaded as fmaps; output stored.
+        let ifmaps = fused
+            .dram_tensors
+            .iter()
+            .filter(|t| matches!(t.kind, DramKind::Ifmap { .. }))
+            .count();
+        assert_eq!(ifmaps, 4);
+    }
+
+    #[test]
+    fn interleaved_tile_order_within_flg() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::fully_fused(&net, 2)).unwrap();
+        let seq: Vec<(u32, u32)> = plan
+            .tiles
+            .iter()
+            .map(|t| (t.layer.0, t.tile_idx))
+            .collect();
+        assert_eq!(seq, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn halo_inflates_fused_ops() {
+        let net = zoo::fig2(1);
+        let fused = parse_lfa(&net, &Lfa::fully_fused(&net, 16)).unwrap();
+        let unfused = parse_lfa(&net, &Lfa::unfused(&net, 1)).unwrap();
+        assert!(fused.total_ops() > unfused.total_ops());
+    }
+
+    #[test]
+    fn rejects_non_topological_order() {
+        let net = zoo::fig2(1);
+        let mut lfa = Lfa::unfused(&net, 1);
+        lfa.order.swap(0, 1);
+        assert!(matches!(
+            parse_lfa(&net, &lfa),
+            Err(ParseError::OrderNotTopological { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tiling() {
+        let net = zoo::fig2(1);
+        let mut lfa = Lfa::unfused(&net, 1);
+        lfa.tiling[0] = 3;
+        assert!(matches!(
+            parse_lfa(&net, &lfa),
+            Err(ParseError::BadTilingNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dram_cut_outside_flc() {
+        let net = zoo::fig2(1);
+        let mut lfa = Lfa::fully_fused(&net, 2);
+        lfa.dram_cuts.insert(1);
+        assert!(matches!(
+            parse_lfa(&net, &lfa),
+            Err(ParseError::DramCutNotFlc { pos: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_full_input_in_same_flg() {
+        // fig4's pooling is fine, but a matmul workload triggers the rule.
+        let net = zoo::transformer_large(1, 64);
+        let lfa = Lfa::fully_fused(&net, 1);
+        assert!(matches!(
+            parse_lfa(&net, &lfa),
+            Err(ParseError::FullInputInsideFlg { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_tensor_spans_all_layer_tiles() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::fully_fused(&net, 4)).unwrap();
+        let w0 = plan
+            .dram_tensors
+            .iter()
+            .find(|t| t.kind == DramKind::Weight(soma_model::LayerId(0)))
+            .unwrap();
+        assert_eq!(w0.anchor, 0);
+        assert_eq!(w0.last_use, 9); // layer 0's 4th tile sits at position 9
+        assert!(w0.is_load);
+    }
+
+    #[test]
+    fn fig4_style_mixed_cuts() {
+        let net = zoo::fig4(1);
+        // FLC {1, 2}, DRAM cut {2}: groups [A], [B], [C,E,D] as in Fig. 4.
+        let mut lfa = Lfa::fully_fused(&net, 2);
+        lfa.flc = [1, 2].into_iter().collect();
+        lfa.dram_cuts = [2].into_iter().collect();
+        lfa.tiling = vec![2, 1, 2];
+        let plan = parse_lfa(&net, &lfa).unwrap();
+        assert_eq!(plan.n_lgs(), 2);
+        assert_eq!(plan.n_tiles(), 2 + 1 + 3 * 2);
+        // B -> C crosses the DRAM cut: C's tiles load ifmaps from DRAM.
+        let c_loads = plan
+            .dram_tensors
+            .iter()
+            .filter(|t| {
+                matches!(t.kind, DramKind::Ifmap { layer, .. } if layer == soma_model::LayerId(2))
+            })
+            .count();
+        assert_eq!(c_loads, 2);
+        // A -> B crosses only an FLC: kept on chip, full-fmap interval.
+        assert!(plan
+            .onchip
+            .iter()
+            .any(|iv| iv.bytes == net.ofmap_bytes(soma_model::LayerId(0))));
+    }
+}

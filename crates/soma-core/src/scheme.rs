@@ -1,0 +1,238 @@
+//! Plain-text serialisation of scheduling schemes.
+//!
+//! SoMa's outputs include "a detailed scheduling scheme" (paper Sec. V-A)
+//! that can be archived, diffed and fed back into the toolchain. This is
+//! a small line-oriented format with no external dependencies:
+//!
+//! ```text
+//! soma-scheme v1
+//! net fig4 layers 5
+//! order 0 1 2 3 4
+//! flc 1 2
+//! dram_cuts 2
+//! tiling 2 1 2
+//! dlsa_order 0 1 2 ...
+//! dlsa_start 0 0 1 ...
+//! dlsa_end 2 3 3 ...
+//! end
+//! ```
+//!
+//! The `dlsa_*` lines are omitted for stage-1 schemes (implicit
+//! double-buffer DLSA).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use soma_model::{LayerId, Network};
+
+use crate::dlsa::Dlsa;
+use crate::encoding::{Encoding, Lfa};
+
+/// Errors when reading a scheme file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A required line is missing.
+    MissingLine(&'static str),
+    /// A line failed to parse.
+    BadLine(String),
+    /// The scheme targets a different network.
+    NetworkMismatch { expected: String, got: String },
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::BadHeader => write!(f, "missing `soma-scheme v1` header"),
+            SchemeError::MissingLine(what) => write!(f, "missing `{what}` line"),
+            SchemeError::BadLine(line) => write!(f, "malformed line: {line}"),
+            SchemeError::NetworkMismatch { expected, got } => {
+                write!(f, "scheme targets network `{got}`, expected `{expected}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// Writes an encoding to the scheme text format.
+pub fn write_scheme(net: &Network, enc: &Encoding) -> String {
+    let mut out = String::new();
+    out.push_str("soma-scheme v1\n");
+    let _ = writeln!(out, "net {} layers {}", net.name(), net.len());
+    let nums = |v: &mut String, it: &mut dyn Iterator<Item = u64>| {
+        for (i, x) in it.enumerate() {
+            if i > 0 {
+                v.push(' ');
+            }
+            let _ = write!(v, "{x}");
+        }
+        v.push('\n');
+    };
+    out.push_str("order ");
+    nums(&mut out, &mut enc.lfa.order.iter().map(|l| u64::from(l.0)));
+    out.push_str("flc ");
+    nums(&mut out, &mut enc.lfa.flc.iter().map(|&p| p as u64));
+    out.push_str("dram_cuts ");
+    nums(&mut out, &mut enc.lfa.dram_cuts.iter().map(|&p| p as u64));
+    out.push_str("tiling ");
+    nums(&mut out, &mut enc.lfa.tiling.iter().map(|&t| u64::from(t)));
+    if let Some(dlsa) = &enc.dlsa {
+        out.push_str("dlsa_order ");
+        nums(&mut out, &mut dlsa.order.iter().map(|&x| u64::from(x)));
+        out.push_str("dlsa_start ");
+        nums(&mut out, &mut dlsa.start.iter().map(|&x| u64::from(x)));
+        out.push_str("dlsa_end ");
+        nums(&mut out, &mut dlsa.end.iter().map(|&x| u64::from(x)));
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn parse_nums(rest: &str, line: &str) -> Result<Vec<u64>, SchemeError> {
+    rest.split_whitespace()
+        .map(|t| t.parse::<u64>().map_err(|_| SchemeError::BadLine(line.to_string())))
+        .collect()
+}
+
+/// Reads an encoding from the scheme text format, checking it targets
+/// `net`.
+///
+/// # Errors
+///
+/// Returns [`SchemeError`] on malformed input or a network mismatch.
+pub fn read_scheme(net: &Network, text: &str) -> Result<Encoding, SchemeError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("soma-scheme v1") {
+        return Err(SchemeError::BadHeader);
+    }
+
+    let mut order: Option<Vec<LayerId>> = None;
+    let mut flc: Option<BTreeSet<usize>> = None;
+    let mut dram_cuts: Option<BTreeSet<usize>> = None;
+    let mut tiling: Option<Vec<u32>> = None;
+    let mut dlsa_order: Option<Vec<u32>> = None;
+    let mut dlsa_start: Option<Vec<u32>> = None;
+    let mut dlsa_end: Option<Vec<u32>> = None;
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line == "end" {
+            continue;
+        }
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "net" => {
+                let got = rest.split_whitespace().next().unwrap_or("").to_string();
+                if got != net.name() {
+                    return Err(SchemeError::NetworkMismatch {
+                        expected: net.name().to_string(),
+                        got,
+                    });
+                }
+            }
+            "order" => {
+                order = Some(
+                    parse_nums(rest, line)?.into_iter().map(|x| LayerId(x as u32)).collect(),
+                )
+            }
+            "flc" => flc = Some(parse_nums(rest, line)?.into_iter().map(|x| x as usize).collect()),
+            "dram_cuts" => {
+                dram_cuts =
+                    Some(parse_nums(rest, line)?.into_iter().map(|x| x as usize).collect())
+            }
+            "tiling" => {
+                tiling = Some(parse_nums(rest, line)?.into_iter().map(|x| x as u32).collect())
+            }
+            "dlsa_order" => {
+                dlsa_order = Some(parse_nums(rest, line)?.into_iter().map(|x| x as u32).collect())
+            }
+            "dlsa_start" => {
+                dlsa_start = Some(parse_nums(rest, line)?.into_iter().map(|x| x as u32).collect())
+            }
+            "dlsa_end" => {
+                dlsa_end = Some(parse_nums(rest, line)?.into_iter().map(|x| x as u32).collect())
+            }
+            _ => return Err(SchemeError::BadLine(line.to_string())),
+        }
+    }
+
+    let lfa = Lfa {
+        order: order.ok_or(SchemeError::MissingLine("order"))?,
+        flc: flc.ok_or(SchemeError::MissingLine("flc"))?,
+        tiling: tiling.ok_or(SchemeError::MissingLine("tiling"))?,
+        dram_cuts: dram_cuts.ok_or(SchemeError::MissingLine("dram_cuts"))?,
+    };
+    let dlsa = match (dlsa_order, dlsa_start, dlsa_end) {
+        (Some(order), Some(start), Some(end)) => Some(Dlsa { order, start, end }),
+        (None, None, None) => None,
+        _ => return Err(SchemeError::MissingLine("dlsa_*")),
+    };
+    Ok(Encoding { lfa, dlsa })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::parse_lfa;
+    use soma_model::zoo;
+
+    fn sample() -> (Network, Encoding) {
+        let net = zoo::fig4(1);
+        let mut lfa = Lfa::fully_fused(&net, 2);
+        lfa.flc = [1, 2].into_iter().collect();
+        lfa.dram_cuts = [2].into_iter().collect();
+        lfa.tiling = vec![2, 1, 2];
+        let plan = parse_lfa(&net, &lfa).unwrap();
+        let dlsa = Dlsa::double_buffer(&plan);
+        (net, Encoding { lfa, dlsa: Some(dlsa) })
+    }
+
+    use soma_model::Network;
+
+    #[test]
+    fn round_trip_with_dlsa() {
+        let (net, enc) = sample();
+        let text = write_scheme(&net, &enc);
+        let back = read_scheme(&net, &text).unwrap();
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn round_trip_without_dlsa() {
+        let (net, mut enc) = sample();
+        enc.dlsa = None;
+        let text = write_scheme(&net, &enc);
+        assert!(!text.contains("dlsa_order"));
+        let back = read_scheme(&net, &text).unwrap();
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn rejects_wrong_network() {
+        let (net, enc) = sample();
+        let text = write_scheme(&net, &enc);
+        let other = zoo::fig2(1);
+        assert!(matches!(
+            read_scheme(&other, &text),
+            Err(SchemeError::NetworkMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_garbage() {
+        let net = zoo::fig4(1);
+        assert_eq!(read_scheme(&net, "nope"), Err(SchemeError::BadHeader));
+        let text = "soma-scheme v1\nbogus line\n";
+        assert!(matches!(read_scheme(&net, text), Err(SchemeError::BadLine(_))));
+    }
+
+    #[test]
+    fn rejects_partial_dlsa() {
+        let (net, enc) = sample();
+        let mut text = write_scheme(&net, &enc);
+        text = text.replace("dlsa_end", "flc"); // corrupt one dlsa line
+        assert!(read_scheme(&net, &text).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Fluent construction of [`Network`]s.
+
+use crate::graph::Network;
+use crate::layer::{EltOp, ExtId, Layer, LayerId, LayerKind, Src, VecOp};
+use crate::shape::FmapShape;
+
+/// Incrementally builds a [`Network`] in topological order.
+///
+/// Shape inference uses same-padding semantics: a stride-`s` spatial layer
+/// maps `h` to `ceil(h / s)`.
+///
+/// ```
+/// use soma_model::{FmapShape, NetworkBuilder};
+/// use soma_model::builder::SrcExt;
+///
+/// let mut b = NetworkBuilder::new("demo", 1);
+/// let x = b.external(FmapShape::new(1, 3, 32, 32));
+/// let c = b.conv("c", &[x], 8, 3, 2);
+/// let net = b.finish();
+/// assert_eq!(net.layer(c.expect_layer()).ofmap.h, 16);
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    precision: u32,
+    externals: Vec<FmapShape>,
+    layers: Vec<Layer>,
+    outputs: Vec<LayerId>,
+}
+
+/// Helper trait so builder methods uniformly accept [`Src`] handles.
+pub trait IntoSrc {
+    /// Converts into a [`Src`].
+    fn into_src(self) -> Src;
+}
+
+impl IntoSrc for Src {
+    fn into_src(self) -> Src {
+        self
+    }
+}
+
+impl IntoSrc for LayerId {
+    fn into_src(self) -> Src {
+        Src::Layer(self)
+    }
+}
+
+/// Extension helpers on [`Src`] used by builders/tests.
+pub trait SrcExt {
+    /// Unwraps a [`Src::Layer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is an external input.
+    fn expect_layer(self) -> LayerId;
+}
+
+impl SrcExt for Src {
+    fn expect_layer(self) -> LayerId {
+        match self {
+            Src::Layer(id) => id,
+            Src::External(_) => panic!("expected a layer source, got an external input"),
+        }
+    }
+}
+
+fn ceil_div(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+impl NetworkBuilder {
+    /// Starts a new network with the given name and element precision
+    /// (bytes per element; 1 = INT8).
+    pub fn new(name: impl Into<String>, precision: u32) -> Self {
+        assert!(precision > 0, "precision must be at least one byte");
+        Self {
+            name: name.into(),
+            precision,
+            externals: Vec::new(),
+            layers: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Declares a network external input with the given shape.
+    pub fn external(&mut self, shape: FmapShape) -> Src {
+        self.externals.push(shape);
+        Src::External(ExtId(self.externals.len() as u32 - 1))
+    }
+
+    fn src_shape(&self, src: Src) -> FmapShape {
+        match src {
+            Src::Layer(id) => self.layers[id.index()].ofmap,
+            Src::External(ExtId(i)) => self.externals[i as usize],
+        }
+    }
+
+    fn push(&mut self, layer: Layer) -> Src {
+        self.layers.push(layer);
+        Src::Layer(LayerId(self.layers.len() as u32 - 1))
+    }
+
+    /// Adds a square-kernel convolution with same padding.
+    pub fn conv(&mut self, name: impl Into<String>, inputs: &[Src], cout: u32, k: u32, stride: u32) -> Src {
+        self.conv_rect(name, inputs, cout, k, k, stride)
+    }
+
+    /// Adds a rectangular-kernel convolution with same padding.
+    pub fn conv_rect(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[Src],
+        cout: u32,
+        kh: u32,
+        kw: u32,
+        stride: u32,
+    ) -> Src {
+        assert!(!inputs.is_empty(), "conv needs at least one input");
+        let in0 = self.src_shape(inputs[0]);
+        let cin: u32 = inputs.iter().map(|&s| self.src_shape(s).c).sum();
+        let ofmap = FmapShape::new(in0.n, cout, ceil_div(in0.h, stride), ceil_div(in0.w, stride));
+        let weight_bytes =
+            u64::from(kh) * u64::from(kw) * u64::from(cin) * u64::from(cout) * u64::from(self.precision);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::Conv { kh, kw, stride },
+            inputs: inputs.to_vec(),
+            ofmap,
+            weight_bytes,
+        })
+    }
+
+    /// Adds a depthwise convolution (one filter per channel).
+    pub fn dwconv(&mut self, name: impl Into<String>, input: Src, k: u32, stride: u32) -> Src {
+        let i = self.src_shape(input);
+        let ofmap = FmapShape::new(i.n, i.c, ceil_div(i.h, stride), ceil_div(i.w, stride));
+        let weight_bytes = u64::from(k) * u64::from(k) * u64::from(i.c) * u64::from(self.precision);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::DwConv { k, stride },
+            inputs: vec![input],
+            ofmap,
+            weight_bytes,
+        })
+    }
+
+    /// Adds a pooling layer.
+    pub fn pool(&mut self, name: impl Into<String>, input: Src, k: u32, stride: u32) -> Src {
+        let i = self.src_shape(input);
+        let ofmap = FmapShape::new(i.n, i.c, ceil_div(i.h, stride), ceil_div(i.w, stride));
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::Pool { k, stride },
+            inputs: vec![input],
+            ofmap,
+            weight_bytes: 0,
+        })
+    }
+
+    /// Adds a global average pooling layer (`h x w -> 1 x 1`).
+    pub fn global_pool(&mut self, name: impl Into<String>, input: Src) -> Src {
+        let i = self.src_shape(input);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::GlobalPool,
+            inputs: vec![input],
+            ofmap: FmapShape::new(i.n, i.c, 1, 1),
+            weight_bytes: 0,
+        })
+    }
+
+    /// Adds a token-wise linear (GEMM) layer with `cout` output channels.
+    pub fn linear(&mut self, name: impl Into<String>, inputs: &[Src], cout: u32) -> Src {
+        assert!(!inputs.is_empty(), "linear needs at least one input");
+        let in0 = self.src_shape(inputs[0]);
+        let cin: u32 = inputs.iter().map(|&s| self.src_shape(s).c).sum();
+        let ofmap = FmapShape::new(in0.n, cout, in0.h, in0.w);
+        let weight_bytes = u64::from(cin) * u64::from(cout) * u64::from(self.precision);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::Linear,
+            inputs: inputs.to_vec(),
+            ofmap,
+            weight_bytes,
+        })
+    }
+
+    /// Adds an activation x activation matmul.
+    ///
+    /// `streamed` is tiled along its `h` dimension; `full` must be entirely
+    /// resident before any tile runs. `cout`/`h` of the output are given
+    /// explicitly because attention reshapes head layouts. `extra_dram_bytes`
+    /// models a DRAM-resident operand such as a decode-phase KV cache.
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        streamed: Src,
+        full: Src,
+        cout: u32,
+        extra_dram_bytes: u64,
+    ) -> Src {
+        let s = self.src_shape(streamed);
+        let ofmap = FmapShape::new(s.n, cout, s.h, s.w);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::Matmul,
+            inputs: vec![streamed, full],
+            ofmap,
+            weight_bytes: extra_dram_bytes,
+        })
+    }
+
+    /// Adds an element-wise n-ary layer. All inputs must share a shape.
+    pub fn eltwise(&mut self, name: impl Into<String>, op: EltOp, inputs: &[Src]) -> Src {
+        assert!(inputs.len() >= 2, "eltwise needs at least two inputs");
+        let shape = self.src_shape(inputs[0]);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::Eltwise(op),
+            inputs: inputs.to_vec(),
+            ofmap: shape,
+            weight_bytes: 0,
+        })
+    }
+
+    /// Adds a unary vector layer (shape-preserving).
+    pub fn vector(&mut self, name: impl Into<String>, op: VecOp, input: Src) -> Src {
+        let shape = self.src_shape(input);
+        self.push(Layer {
+            name: name.into(),
+            kind: LayerKind::Vector(op),
+            inputs: vec![input],
+            ofmap: shape,
+            weight_bytes: 0,
+        })
+    }
+
+    /// Declares `src` (which must be a layer) as a network output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is an external input.
+    pub fn mark_output(&mut self, src: Src) {
+        self.outputs.push(src.expect_layer());
+    }
+
+    /// Finalises the network, deriving consumer adjacency and validating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed network violates a structural invariant
+    /// (builder misuse — cannot happen through the typed API).
+    pub fn finish(self) -> Network {
+        let mut consumers = vec![Vec::new(); self.layers.len()];
+        for (i, l) in self.layers.iter().enumerate() {
+            for &src in &l.inputs {
+                if let Src::Layer(p) = src {
+                    consumers[p.index()].push(LayerId(i as u32));
+                }
+            }
+        }
+        let net = Network {
+            name: self.name,
+            precision: self.precision,
+            externals: self.externals,
+            layers: self.layers,
+            outputs: self.outputs,
+            consumers,
+        };
+        net.validate().expect("builder produced an invalid network");
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_shape_inference() {
+        let mut b = NetworkBuilder::new("t", 1);
+        let x = b.external(FmapShape::new(1, 3, 224, 224));
+        let c = b.conv("c", &[x], 64, 7, 2);
+        assert_eq!(b.src_shape(c), FmapShape::new(1, 64, 112, 112));
+        let p = b.pool("p", c, 3, 2);
+        assert_eq!(b.src_shape(p), FmapShape::new(1, 64, 56, 56));
+    }
+
+    #[test]
+    fn multi_input_conv_concatenates_channels() {
+        let mut b = NetworkBuilder::new("t", 1);
+        let x = b.external(FmapShape::new(1, 8, 16, 16));
+        let a = b.conv("a", &[x], 4, 1, 1);
+        let c = b.conv("c", &[x], 12, 1, 1);
+        let m = b.conv("m", &[a, c], 10, 1, 1);
+        let net = b.finish();
+        assert_eq!(net.in_channels(m.expect_layer()), 16);
+        // weights: 1*1*16*10
+        assert_eq!(net.layer(m.expect_layer()).weight_bytes, 160);
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let mut b = NetworkBuilder::new("t", 1);
+        let x = b.external(FmapShape::tokens(1, 64, 128));
+        let q = b.linear("q", &[x], 64);
+        let k = b.linear("k", &[x], 64);
+        let s = b.matmul("qk", q, k, 128, 0);
+        let net = b.finish();
+        let sid = s.expect_layer();
+        assert_eq!(net.layer(sid).ofmap, FmapShape::tokens(1, 128, 128));
+        // ops = 2 * n*cout*h * red(=64)
+        assert_eq!(net.layer_ops(sid), 2 * 128 * 128 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a layer source")]
+    fn external_cannot_be_output() {
+        let mut b = NetworkBuilder::new("t", 1);
+        let x = b.external(FmapShape::new(1, 1, 1, 1));
+        b.mark_output(x);
+    }
+}

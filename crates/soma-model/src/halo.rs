@@ -1,0 +1,105 @@
+//! Receptive-field (halo) arithmetic for fused-tile sizing.
+//!
+//! When several layers are fused into a fine-grained layer-fusion group
+//! (FLG) and processed tile by tile, each intermediate layer must produce a
+//! slightly larger tile than `1/T` of its ofmap so that downstream kernels
+//! have their full receptive field available (paper Sec. IV-A1, Fig. 2). The
+//! per-layer enlargement ("halo extension") accumulates backwards through
+//! the group. This module provides the primitive per-layer mapping; the
+//! accumulation over a group lives in `soma-core::tiles` where group
+//! membership is known.
+
+/// Given a layer with kernel `k` and stride `s` along one spatial axis,
+/// returns the input extent required to produce `out` output elements
+/// (same-padding semantics).
+///
+/// ```
+/// use soma_model::halo::in_extent;
+///
+/// assert_eq!(in_extent(4, 3, 1), 6); // 3x3 stride-1 conv: 4 outputs need 6 inputs
+/// assert_eq!(in_extent(4, 1, 1), 4); // 1x1: identity
+/// assert_eq!(in_extent(4, 3, 2), 9); // 3x3 stride-2
+/// ```
+pub fn in_extent(out: u32, k: u32, s: u32) -> u32 {
+    if out == 0 {
+        return 0;
+    }
+    (out - 1) * s + k
+}
+
+/// Propagates a downstream halo extension `e_out` (extra output elements a
+/// consumer needs beyond the nominal tile) backwards through a layer with
+/// kernel `k`, stride `s`: the producer must supply
+/// `e_in = e_out * s + (k - s)` extra elements.
+///
+/// Identity layers (`k = s = 1`) pass the extension through unchanged.
+///
+/// ```
+/// use soma_model::halo::back_extend;
+///
+/// assert_eq!(back_extend(0, 3, 1), 2); // one 3x3 conv adds 2 halo rows
+/// assert_eq!(back_extend(2, 3, 1), 4); // two stacked 3x3 convs add 4
+/// assert_eq!(back_extend(0, 1, 1), 0);
+/// assert_eq!(back_extend(1, 3, 2), 3);
+/// ```
+pub fn back_extend(e_out: u32, k: u32, s: u32) -> u32 {
+    e_out * s + k.saturating_sub(s)
+}
+
+/// Nominal tile extent for splitting a dimension of size `dim` into
+/// `parts` pieces: the ceiling of the division, so `parts` tiles always
+/// cover the dimension.
+///
+/// ```
+/// use soma_model::halo::tile_extent;
+///
+/// assert_eq!(tile_extent(56, 4), 14);
+/// assert_eq!(tile_extent(7, 2), 4);
+/// assert_eq!(tile_extent(7, 8), 1);
+/// ```
+pub fn tile_extent(dim: u32, parts: u32) -> u32 {
+    assert!(parts > 0, "cannot split into zero parts");
+    dim.div_ceil(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_extent_identity_for_1x1() {
+        for out in 1..10 {
+            assert_eq!(in_extent(out, 1, 1), out);
+        }
+    }
+
+    #[test]
+    fn in_extent_zero() {
+        assert_eq!(in_extent(0, 3, 1), 0);
+    }
+
+    #[test]
+    fn back_extend_stacks_linearly_for_stride_1() {
+        // Each 3x3 stride-1 conv adds exactly k-1 = 2.
+        let mut e = 0;
+        for _ in 0..5 {
+            e = back_extend(e, 3, 1);
+        }
+        assert_eq!(e, 10);
+    }
+
+    #[test]
+    fn back_extend_scales_with_stride() {
+        // A stride-2 layer doubles the downstream extension.
+        assert_eq!(back_extend(4, 3, 2), 9);
+    }
+
+    #[test]
+    fn tile_extent_covers_dim() {
+        for dim in 1..40u32 {
+            for parts in 1..=dim {
+                assert!(tile_extent(dim, parts) * parts >= dim);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! DNN workload graph substrate for the SoMa DRAM-communication scheduler.
+//!
+//! This crate provides everything the scheduler needs to know about a
+//! workload, built from scratch:
+//!
+//! * [`FmapShape`] — NCHW feature-map shapes (transformers map `seq -> h`,
+//!   `hidden -> c`, `w = 1`).
+//! * [`Layer`] / [`LayerKind`] — the operator vocabulary of the accelerator
+//!   template from the paper (Conv/GEMM on the PE array, pooling and
+//!   element-wise work on the vector unit).
+//! * [`Network`] — a validated DAG of layers in topological order, plus
+//!   derived queries (consumers, shapes, operation counts, DRAM footprints).
+//! * [`halo`] — receptive-field math used for fused-tile (halo) sizing.
+//! * [`zoo`] — builders for every workload in the paper's evaluation:
+//!   ResNet-50/101, Inception-ResNet-v1, RandWire, GPT-2 (prefill and
+//!   decode, small and XL) and Transformer-Large, plus small demo networks
+//!   mirroring the paper's Fig. 2 and Fig. 4 examples.
+//! * [`stats`] — per-layer operation/DRAM-access statistics (paper Fig. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use soma_model::zoo;
+//!
+//! let net = zoo::resnet50(1);
+//! assert!(net.validate().is_ok());
+//! assert!(net.total_ops() > 7_000_000_000); // ~8.2 GOPs at batch 1
+//! ```
+
+pub mod builder;
+pub mod graph;
+pub mod halo;
+pub mod layer;
+pub mod shape;
+pub mod stats;
+pub mod zoo;
+
+pub use builder::NetworkBuilder;
+pub use graph::{Network, NetworkError};
+pub use layer::{EltOp, Layer, LayerId, LayerKind, Src, VecOp};
+pub use shape::FmapShape;

@@ -1,0 +1,41 @@
+//! BERT-Base encoder (Devlin et al., 2019): bidirectional transformer
+//! encoder, cited by the paper's introduction as a driver of model growth.
+//! Structurally a prefill-only transformer stack.
+
+use crate::graph::Network;
+use crate::zoo::gpt2::{gpt2_prefill, Gpt2Config};
+
+/// BERT-Base: 12 encoder blocks, d=768, 12 heads, over `seq` tokens.
+pub fn bert_base(batch: u32, seq: u32) -> Network {
+    let cfg = Gpt2Config { name: "bert-base", d: 768, blocks: 12, heads: 12 };
+    gpt2_prefill(cfg, batch, seq)
+}
+
+/// BERT-Large: 24 encoder blocks, d=1024, 16 heads.
+pub fn bert_large(batch: u32, seq: u32) -> Network {
+    let cfg = Gpt2Config { name: "bert-large", d: 1024, blocks: 24, heads: 16 };
+    gpt2_prefill(cfg, batch, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_sizes() {
+        let net = bert_base(1, 384);
+        assert!(net.validate().is_ok());
+        assert_eq!(net.len(), 12 * 14);
+        // ~85M encoder parameters.
+        let mb = net.total_weight_bytes() as f64 / 1e6;
+        assert!((75.0..95.0).contains(&mb), "{mb} MB");
+    }
+
+    #[test]
+    fn large_is_larger() {
+        let b = bert_base(1, 128);
+        let l = bert_large(1, 128);
+        assert!(l.total_weight_bytes() > 3 * b.total_weight_bytes());
+        assert!(l.len() > b.len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Inception-ResNet-v1 (Szegedy et al., AAAI 2017) — the paper's "wider,
+//! more complex structure" CNN.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{EltOp, Src};
+use crate::shape::FmapShape;
+
+/// Inception-ResNet-A block (operating at 35x35, 256 channels).
+fn block35(b: &mut NetworkBuilder, x: Src, tag: &str) -> Src {
+    let b0 = b.conv(format!("{tag}.b0"), &[x], 32, 1, 1);
+    let b1a = b.conv(format!("{tag}.b1a"), &[x], 32, 1, 1);
+    let b1b = b.conv(format!("{tag}.b1b"), &[b1a], 32, 3, 1);
+    let b2a = b.conv(format!("{tag}.b2a"), &[x], 32, 1, 1);
+    let b2b = b.conv(format!("{tag}.b2b"), &[b2a], 32, 3, 1);
+    let b2c = b.conv(format!("{tag}.b2c"), &[b2b], 32, 3, 1);
+    // Concat branches (implicit channel concat on the 1x1 "up" conv).
+    let up = b.conv(format!("{tag}.up"), &[b0, b1b, b2c], 256, 1, 1);
+    b.eltwise(format!("{tag}.add"), EltOp::Add, &[x, up])
+}
+
+/// Inception-ResNet-B block (17x17, 896 channels) with asymmetric 1x7/7x1.
+fn block17(b: &mut NetworkBuilder, x: Src, tag: &str) -> Src {
+    let b0 = b.conv(format!("{tag}.b0"), &[x], 128, 1, 1);
+    let b1a = b.conv(format!("{tag}.b1a"), &[x], 128, 1, 1);
+    let b1b = b.conv_rect(format!("{tag}.b1b"), &[b1a], 128, 1, 7, 1);
+    let b1c = b.conv_rect(format!("{tag}.b1c"), &[b1b], 128, 7, 1, 1);
+    let up = b.conv(format!("{tag}.up"), &[b0, b1c], 896, 1, 1);
+    b.eltwise(format!("{tag}.add"), EltOp::Add, &[x, up])
+}
+
+/// Inception-ResNet-C block (8x8, 1792 channels) with asymmetric 1x3/3x1.
+fn block8(b: &mut NetworkBuilder, x: Src, tag: &str) -> Src {
+    let b0 = b.conv(format!("{tag}.b0"), &[x], 192, 1, 1);
+    let b1a = b.conv(format!("{tag}.b1a"), &[x], 192, 1, 1);
+    let b1b = b.conv_rect(format!("{tag}.b1b"), &[b1a], 192, 1, 3, 1);
+    let b1c = b.conv_rect(format!("{tag}.b1c"), &[b1b], 192, 3, 1, 1);
+    let up = b.conv(format!("{tag}.up"), &[b0, b1c], 1792, 1, 1);
+    b.eltwise(format!("{tag}.add"), EltOp::Add, &[x, up])
+}
+
+/// Inception-ResNet-v1 at the given batch size (input 149x149 after the
+/// usual 160/149 crop conventions; we use 149 directly).
+pub fn inception_resnet_v1(batch: u32) -> Network {
+    let mut b = NetworkBuilder::new("inception-resnet-v1", 1);
+    let x = b.external(FmapShape::new(batch, 3, 149, 149));
+
+    // Stem.
+    let s1 = b.conv("stem.c1", &[x], 32, 3, 2); // 75
+    let s2 = b.conv("stem.c2", &[s1], 32, 3, 1);
+    let s3 = b.conv("stem.c3", &[s2], 64, 3, 1);
+    let s4 = b.pool("stem.pool", s3, 3, 2); // 38
+    let s5 = b.conv("stem.c4", &[s4], 80, 1, 1);
+    let s6 = b.conv("stem.c5", &[s5], 192, 3, 1);
+    let s7 = b.conv("stem.c6", &[s6], 256, 3, 2); // 19
+
+    // 5 x Inception-ResNet-A.
+    let mut cur = s7;
+    for i in 0..5 {
+        cur = block35(&mut b, cur, &format!("a{}", i + 1));
+    }
+
+    // Reduction-A: concat(3x3/2 conv 384; 1x1->3x3->3x3/2 256; maxpool/2)
+    let ra0 = b.conv("redA.b0", &[cur], 384, 3, 2); // 10
+    let ra1a = b.conv("redA.b1a", &[cur], 192, 1, 1);
+    let ra1b = b.conv("redA.b1b", &[ra1a], 192, 3, 1);
+    let ra1c = b.conv("redA.b1c", &[ra1b], 256, 3, 2);
+    let rap = b.pool("redA.pool", cur, 3, 2);
+    // 384 + 256 + 256 = 896 channels; fold the concat into the next 1x1.
+    let mut cur = b.conv("redA.mix", &[ra0, ra1c, rap], 896, 1, 1);
+
+    // 10 x Inception-ResNet-B.
+    for i in 0..10 {
+        cur = block17(&mut b, cur, &format!("b{}", i + 1));
+    }
+
+    // Reduction-B.
+    let rb0a = b.conv("redB.b0a", &[cur], 256, 1, 1);
+    let rb0b = b.conv("redB.b0b", &[rb0a], 384, 3, 2); // 5
+    let rb1a = b.conv("redB.b1a", &[cur], 256, 1, 1);
+    let rb1b = b.conv("redB.b1b", &[rb1a], 256, 3, 2);
+    let rb2a = b.conv("redB.b2a", &[cur], 256, 1, 1);
+    let rb2b = b.conv("redB.b2b", &[rb2a], 256, 3, 1);
+    let rb2c = b.conv("redB.b2c", &[rb2b], 256, 3, 2);
+    let rbp = b.pool("redB.pool", cur, 3, 2);
+    let mut cur = b.conv("redB.mix", &[rb0b, rb1b, rb2c, rbp], 1792, 1, 1);
+
+    // 5 x Inception-ResNet-C.
+    for i in 0..5 {
+        cur = block8(&mut b, cur, &format!("c{}", i + 1));
+    }
+
+    let gp = b.global_pool("avgpool", cur);
+    let fc = b.linear("embed", &[gp], 512);
+    b.mark_output(fc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let net = inception_resnet_v1(1);
+        assert!(net.validate().is_ok());
+        // stem 7 + 5*8 + redA 6 + 10*6 + redB 9 + 5*6 + 2
+        assert_eq!(net.len(), 7 + 40 + 6 + 60 + 9 + 30 + 2);
+    }
+
+    #[test]
+    fn sizes_are_plausible() {
+        let net = inception_resnet_v1(1);
+        let mb = net.total_weight_bytes() as f64 / (1 << 20) as f64;
+        assert!((15.0..40.0).contains(&mb), "weights {mb} MB");
+        let gops = net.total_ops() as f64 / 1e9;
+        assert!((2.0..12.0).contains(&gops), "ops {gops} GOPs");
+    }
+
+    #[test]
+    fn has_wide_fanout() {
+        let net = inception_resnet_v1(1);
+        // Some layer must feed at least 3 consumers (inception branching).
+        let max_fanout = net
+            .iter()
+            .map(|(id, _)| net.consumers(id).len())
+            .max()
+            .unwrap();
+        assert!(max_fanout >= 3, "max fanout {max_fanout}");
+    }
+}

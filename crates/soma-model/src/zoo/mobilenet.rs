@@ -1,0 +1,109 @@
+//! MobileNetV2 (Sandler et al., CVPR 2018): the canonical depthwise-
+//! separable edge CNN. Not part of the paper's Fig. 6 suite, but a
+//! first-class member of this library's zoo — its alternating
+//! high-channel 1x1 / low-arithmetic-intensity depthwise pattern stresses
+//! the scheduler very differently from ResNet.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{EltOp, Src};
+use crate::shape::FmapShape;
+
+/// One inverted-residual block: 1x1 expand (xt), 3x3 depthwise (stride
+/// `s`), 1x1 project; residual add when the shape is preserved.
+fn inverted_residual(
+    b: &mut NetworkBuilder,
+    input: Src,
+    cin: u32,
+    cout: u32,
+    t: u32,
+    stride: u32,
+    tag: &str,
+) -> Src {
+    let hidden = cin * t;
+    let mut x = input;
+    if t != 1 {
+        x = b.conv(format!("{tag}.expand"), &[x], hidden, 1, 1);
+    }
+    let dw = b.dwconv(format!("{tag}.dw"), x, 3, stride);
+    let proj = b.conv(format!("{tag}.project"), &[dw], cout, 1, 1);
+    if stride == 1 && cin == cout {
+        b.eltwise(format!("{tag}.add"), EltOp::Add, &[input, proj])
+    } else {
+        proj
+    }
+}
+
+/// MobileNetV2 at the given batch size (224x224x3 input, width 1.0).
+pub fn mobilenet_v2(batch: u32) -> Network {
+    let mut b = NetworkBuilder::new("mobilenet-v2", 1);
+    let x = b.external(FmapShape::new(batch, 3, 224, 224));
+    let stem = b.conv("stem", &[x], 32, 3, 2); // 112
+
+    // (expansion t, cout, repeats, stride of first repeat)
+    let settings: [(u32, u32, u32, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut cur = stem;
+    let mut cin = 32;
+    for (si, &(t, cout, reps, stride)) in settings.iter().enumerate() {
+        for r in 0..reps {
+            let s = if r == 0 { stride } else { 1 };
+            cur = inverted_residual(&mut b, cur, cin, cout, t, s, &format!("ir{}_{}", si + 1, r + 1));
+            cin = cout;
+        }
+    }
+    let head = b.conv("head", &[cur], 1280, 1, 1);
+    let gp = b.global_pool("avgpool", head);
+    let fc = b.linear("fc", &[gp], 1000);
+    b.mark_output(fc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn builds_and_validates() {
+        let net = mobilenet_v2(1);
+        assert!(net.validate().is_ok());
+        // 17 inverted residual blocks appear as 17 depthwise layers.
+        let dw = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::DwConv { .. }))
+            .count();
+        assert_eq!(dw, 17);
+    }
+
+    #[test]
+    fn sizes_match_the_literature() {
+        let net = mobilenet_v2(1);
+        // ~3.4M parameters, ~0.6 GOPs (0.3 GMACs) at 224x224.
+        let mb = net.total_weight_bytes() as f64 / 1e6;
+        assert!((2.0..5.0).contains(&mb), "weights {mb} MB");
+        let gops = net.total_ops() as f64 / 1e9;
+        assert!((0.4..1.2).contains(&gops), "{gops} GOPs");
+    }
+
+    #[test]
+    fn depthwise_has_per_channel_weights() {
+        let net = mobilenet_v2(1);
+        let (id, dw) = net
+            .iter()
+            .find(|(_, l)| matches!(l.kind, LayerKind::DwConv { .. }))
+            .unwrap();
+        let cin = net.src_shape(dw.inputs[0]).c;
+        assert_eq!(dw.weight_bytes, u64::from(cin) * 9);
+        // Depthwise ops = 2 * elems * k^2 (no channel reduction).
+        assert_eq!(net.layer_ops(id), 2 * dw.ofmap.elems() * 9);
+    }
+}

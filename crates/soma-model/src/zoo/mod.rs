@@ -1,0 +1,116 @@
+//! Model zoo: every workload used in the paper's evaluation (Sec. VI-A2).
+//!
+//! All builders take the batch size; transformer builders additionally take
+//! sequence parameters matching the paper (GPT-2-Small with 512 tokens for
+//! the edge platform, GPT-2-XL with 1024 for cloud). Weights are INT8
+//! (1 byte/element), the paper's default precision.
+//!
+//! The language-model builders exclude the vocabulary-projection head: its
+//! single weight tensor (d x 50257) exceeds every evaluated on-chip buffer
+//! and the notation (like the paper's) does not split weights along
+//! channels; the transformer stack dominates both compute and traffic.
+
+mod bert;
+mod gpt2;
+mod inception;
+mod mobilenet;
+mod randwire;
+mod resnet;
+mod simple;
+mod vgg;
+
+pub use bert::{bert_base, bert_large};
+pub use gpt2::{
+    gpt2_decode, gpt2_prefill, gpt2_small_decode, gpt2_small_prefill, gpt2_xl_decode,
+    gpt2_xl_prefill, transformer_large, Gpt2Config,
+};
+pub use inception::inception_resnet_v1;
+pub use mobilenet::mobilenet_v2;
+pub use randwire::randwire;
+pub use resnet::{resnet101, resnet50};
+pub use simple::{chain, fig2, fig4};
+pub use vgg::vgg16;
+
+use crate::graph::Network;
+
+/// Workloads of the paper's Fig. 6 for the **edge** platform (16 TOPS):
+/// ResNet-50, ResNet-101, Inception-ResNet-v1, RandWire, GPT-2-Small
+/// prefill (512) and decode (513th token).
+pub fn edge_suite(batch: u32) -> Vec<Network> {
+    vec![
+        resnet50(batch),
+        resnet101(batch),
+        inception_resnet_v1(batch),
+        randwire(batch, 0xC0C0),
+        gpt2_small_prefill(batch, 512),
+        gpt2_small_decode(batch, 512),
+    ]
+}
+
+/// Workloads of the paper's Fig. 6 for the **cloud** platform (128 TOPS):
+/// same CNNs, GPT-2-XL prefill (1024) and decode (1025th token).
+pub fn cloud_suite(batch: u32) -> Vec<Network> {
+    vec![
+        resnet50(batch),
+        resnet101(batch),
+        inception_resnet_v1(batch),
+        randwire(batch, 0xC0C0),
+        gpt2_xl_prefill(batch, 1024),
+        gpt2_xl_decode(batch, 1024),
+    ]
+}
+
+/// Every model in the zoo at batch 1 (the paper's suite plus the extended
+/// members: MobileNetV2, VGG-16, BERT) — useful for broad smoke tests.
+pub fn full_zoo(batch: u32) -> Vec<Network> {
+    let mut nets = edge_suite(batch);
+    nets.extend([
+        gpt2_xl_prefill(batch, 1024),
+        gpt2_xl_decode(batch, 1024),
+        transformer_large(batch, 512),
+        mobilenet_v2(batch),
+        vgg16(batch),
+        bert_base(batch, 384),
+        bert_large(batch, 384),
+        fig2(batch),
+        fig4(batch),
+    ]);
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zoo_networks_validate() {
+        for net in full_zoo(1) {
+            assert!(net.validate().is_ok(), "{} failed validation", net.name());
+        }
+    }
+
+    #[test]
+    fn zoo_names_are_unique() {
+        let nets = full_zoo(1);
+        let mut names: Vec<_> = nets.iter().map(|n| n.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), nets.len());
+    }
+
+    #[test]
+    fn batch_scales_ops_linearly_for_cnns() {
+        let a = resnet50(1).total_ops();
+        let b = resnet50(4).total_ops();
+        assert_eq!(b, 4 * a);
+    }
+
+    #[test]
+    fn every_network_has_positive_work_and_output() {
+        for net in full_zoo(2) {
+            assert!(net.total_ops() > 0, "{}", net.name());
+            let outputs = net.iter().filter(|&(id, _)| net.is_output(id)).count();
+            assert!(outputs >= 1, "{} has no outputs", net.name());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! RandWire (Xie et al., ICCV 2019): randomly-wired CNN with Watts-Strogatz
+//! small-world stage graphs, deterministically seeded.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{EltOp, Src};
+use crate::shape::FmapShape;
+
+/// Generates a Watts-Strogatz ring graph with `n` nodes, each connected to
+/// `k` neighbours, rewired with probability `p`, then oriented from lower to
+/// higher node index so the result is a DAG.
+fn ws_dag(n: usize, k: usize, p: f64, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            let mut t = (i + j) % n;
+            if rng.gen_bool(p) {
+                // Rewire to a uniformly random other node.
+                t = rng.gen_range(0..n);
+                if t == i {
+                    t = (t + 1) % n;
+                }
+            }
+            let (lo, hi) = if i < t { (i, t) } else { (t, i) };
+            if lo != hi && !preds[hi].contains(&lo) {
+                preds[hi].push(lo);
+            }
+        }
+    }
+    preds
+}
+
+/// One RandWire stage: a WS DAG of conv nodes at fixed channel width.
+/// Nodes with several predecessors aggregate by element-wise addition
+/// before their conv (the paper's weighted-sum aggregation).
+fn stage(b: &mut NetworkBuilder, input: Src, channels: u32, nodes: usize, rng: &mut StdRng, tag: &str) -> Src {
+    let preds = ws_dag(nodes, 4, 0.75, rng);
+    let mut outs: Vec<Src> = Vec::with_capacity(nodes);
+    for (i, pred) in preds.iter().enumerate() {
+        let srcs: Vec<Src> = if pred.is_empty() {
+            vec![input]
+        } else {
+            pred.iter().map(|&p| outs[p]).collect()
+        };
+        let agg = if srcs.len() >= 2 {
+            b.eltwise(format!("{tag}.n{i}.agg"), EltOp::Add, &srcs)
+        } else {
+            srcs[0]
+        };
+        outs.push(b.conv(format!("{tag}.n{i}.conv"), &[agg], channels, 3, 1));
+    }
+    // Output node: average the sinks (nodes without successors).
+    let mut has_succ = vec![false; nodes];
+    for pred in &preds {
+        for &p in pred {
+            has_succ[p] = true;
+        }
+    }
+    let sinks: Vec<Src> = (0..nodes).filter(|&i| !has_succ[i]).map(|i| outs[i]).collect();
+    if sinks.len() >= 2 {
+        b.eltwise(format!("{tag}.out"), EltOp::Add, &sinks)
+    } else {
+        sinks[0]
+    }
+}
+
+/// RandWire-CNN at the given batch size, with a deterministic wiring `seed`.
+///
+/// Three WS(8, 4, 0.75) stages at 64/128/256 channels with stride-2 entry
+/// convs, a 1x1 head to 1280 channels, global pool, and a 1000-way
+/// classifier — the "small regime" configuration scaled to our template.
+pub fn randwire(batch: u32, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new("randwire", 1);
+    let x = b.external(FmapShape::new(batch, 3, 224, 224));
+    let stem1 = b.conv("stem.c1", &[x], 32, 3, 2); // 112
+    let stem2 = b.conv("stem.c2", &[stem1], 64, 3, 2); // 56
+    let mut cur = stem2;
+    for (i, &c) in [64u32, 128, 256].iter().enumerate() {
+        let down = b.conv(format!("s{}.down", i + 1), &[cur], c, 3, 2);
+        cur = stage(&mut b, down, c, 8, &mut rng, &format!("s{}", i + 1));
+    }
+    let head = b.conv("head", &[cur], 1280, 1, 1);
+    let gp = b.global_pool("avgpool", head);
+    let fc = b.linear("fc", &[gp], 1000);
+    b.mark_output(fc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = randwire(1, 42);
+        let b = randwire(1, 42);
+        assert_eq!(a.len(), b.len());
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_wiring() {
+        let a = randwire(1, 1);
+        let b = randwire(1, 2);
+        // Layer count may differ (different aggregation nodes).
+        let same = a.len() == b.len()
+            && a.layers().iter().zip(b.layers()).all(|(x, y)| x == y);
+        assert!(!same, "seeds 1 and 2 produced identical networks");
+    }
+
+    #[test]
+    fn validates_and_has_irregular_structure() {
+        let net = randwire(1, 0xC0C0);
+        assert!(net.validate().is_ok());
+        assert!(net.len() > 30);
+        // Irregular: at least one aggregation with >= 2 inputs exists.
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, crate::LayerKind::Eltwise(_)) && l.inputs.len() >= 2));
+    }
+}

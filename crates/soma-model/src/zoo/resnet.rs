@@ -1,0 +1,105 @@
+//! ResNet-50 and ResNet-101 (He et al., CVPR 2016).
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{EltOp, Src};
+use crate::shape::FmapShape;
+
+/// One bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand, plus the
+/// projection shortcut when shape changes.
+fn bottleneck(
+    b: &mut NetworkBuilder,
+    input: Src,
+    cmid: u32,
+    cout: u32,
+    stride: u32,
+    project: bool,
+    tag: &str,
+) -> Src {
+    let c1 = b.conv(format!("{tag}.conv1"), &[input], cmid, 1, 1);
+    let c2 = b.conv(format!("{tag}.conv2"), &[c1], cmid, 3, stride);
+    let c3 = b.conv(format!("{tag}.conv3"), &[c2], cout, 1, 1);
+    let shortcut = if project {
+        b.conv(format!("{tag}.proj"), &[input], cout, 1, stride)
+    } else {
+        input
+    };
+    b.eltwise(format!("{tag}.add"), EltOp::Add, &[c3, shortcut])
+}
+
+fn resnet(name: &str, batch: u32, blocks: [u32; 4]) -> Network {
+    let mut b = NetworkBuilder::new(name, 1);
+    let x = b.external(FmapShape::new(batch, 3, 224, 224));
+    let stem = b.conv("conv1", &[x], 64, 7, 2);
+    let mut cur = b.pool("pool1", stem, 3, 2);
+    let cmids = [64u32, 128, 256, 512];
+    let couts = [256u32, 512, 1024, 2048];
+    for (stage, &n_blocks) in blocks.iter().enumerate() {
+        for blk in 0..n_blocks {
+            let first = blk == 0;
+            // Stage 1 keeps stride 1 (pool already downsampled); later
+            // stages downsample in their first block.
+            let stride = if first && stage > 0 { 2 } else { 1 };
+            cur = bottleneck(
+                &mut b,
+                cur,
+                cmids[stage],
+                couts[stage],
+                stride,
+                first,
+                &format!("s{}b{}", stage + 1, blk + 1),
+            );
+        }
+    }
+    let gp = b.global_pool("avgpool", cur);
+    let fc = b.linear("fc", &[gp], 1000);
+    b.mark_output(fc);
+    b.finish()
+}
+
+/// ResNet-50 at the given batch size (input 224x224x3, INT8).
+pub fn resnet50(batch: u32) -> Network {
+    resnet("resnet50", batch, [3, 4, 6, 3])
+}
+
+/// ResNet-101 at the given batch size.
+pub fn resnet101(batch: u32) -> Network {
+    resnet("resnet101", batch, [3, 4, 23, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_structure() {
+        let net = resnet50(1);
+        assert!(net.validate().is_ok());
+        // 2 stem + 16 blocks x (3..4 convs + add) + pool + fc
+        // 16 blocks: 4 with projection (5 layers), 12 without (4 layers).
+        assert_eq!(net.len(), 2 + 4 * 5 + 12 * 4 + 2);
+        // ~25.5M parameters -> ~25.5MB INT8 (fc included, no bn folding).
+        let mb = net.total_weight_bytes() as f64 / (1 << 20) as f64;
+        assert!((20.0..30.0).contains(&mb), "weights {mb} MB");
+        // ~8.2 GOPs (4.1 GMACs) at batch 1.
+        let gops = net.total_ops() as f64 / 1e9;
+        assert!((7.0..9.5).contains(&gops), "ops {gops} GOPs");
+    }
+
+    #[test]
+    fn resnet101_is_deeper() {
+        let a = resnet50(1);
+        let b = resnet101(1);
+        assert!(b.len() > a.len());
+        assert!(b.total_ops() > a.total_ops());
+        let gops = b.total_ops() as f64 / 1e9;
+        assert!((14.0..18.0).contains(&gops), "ops {gops} GOPs");
+    }
+
+    #[test]
+    fn final_shape_is_1000_logits() {
+        let net = resnet50(2);
+        let last = net.layer(crate::LayerId(net.len() as u32 - 1));
+        assert_eq!(last.ofmap, FmapShape::vector(2, 1000));
+    }
+}

@@ -1,0 +1,77 @@
+//! Small demonstration networks mirroring the paper's running examples.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::Src;
+use crate::shape::FmapShape;
+
+/// The three-layer network of the paper's Fig. 2: Conv A -> Conv B ->
+/// Conv C, all spatial, suitable for demonstrating fused tiling with halo
+/// overlap and double-buffer stalls.
+pub fn fig2(batch: u32) -> Network {
+    let mut b = NetworkBuilder::new("fig2", 1);
+    let x = b.external(FmapShape::new(batch, 32, 56, 56));
+    let a = b.conv("A", &[x], 64, 3, 1);
+    let bl = b.conv("B", &[a], 64, 3, 1);
+    let c = b.conv("C", &[bl], 128, 3, 1);
+    b.mark_output(c);
+    b.finish()
+}
+
+/// The five-layer network of the paper's Fig. 4 (layers A..E with a
+/// pooling layer C and a diamond A->B->C->{E,D}, E->D).
+pub fn fig4(batch: u32) -> Network {
+    let mut b = NetworkBuilder::new("fig4", 1);
+    let x = b.external(FmapShape::new(batch, 16, 28, 28));
+    let a = b.conv("A", &[x], 32, 3, 1);
+    let bl = b.conv("B", &[a], 32, 3, 1);
+    let c = b.pool("C", bl, 2, 2); // pooling: no weights, like the paper
+    let e = b.conv("E", &[c], 64, 3, 1);
+    let d = b.conv("D", &[c, e], 64, 3, 1);
+    b.mark_output(d);
+    b.finish()
+}
+
+/// A linear chain of `depth` 3x3 convolutions at constant `channels` over a
+/// `hw x hw` map — handy for tests and property-based generators.
+pub fn chain(batch: u32, channels: u32, hw: u32, depth: u32) -> Network {
+    assert!(depth > 0, "chain needs at least one layer");
+    let mut b = NetworkBuilder::new(format!("chain{depth}"), 1);
+    let x = b.external(FmapShape::new(batch, channels, hw, hw));
+    let mut cur: Src = x;
+    for i in 0..depth {
+        cur = b.conv(format!("c{i}"), &[cur], channels, 3, 1);
+    }
+    b.mark_output(cur);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_is_three_convs() {
+        let n = fig2(1);
+        assert_eq!(n.len(), 3);
+        assert!(n.validate().is_ok());
+        assert!(n.layers().iter().all(|l| l.inputs.len() <= 2));
+    }
+
+    #[test]
+    fn fig4_topology() {
+        let n = fig4(1);
+        assert_eq!(n.len(), 5);
+        // C (pool) has no weights.
+        assert_eq!(n.layer(crate::LayerId(2)).weight_bytes, 0);
+        // D consumes both C and E.
+        assert_eq!(n.layer(crate::LayerId(4)).inputs.len(), 2);
+    }
+
+    #[test]
+    fn chain_depth() {
+        let n = chain(1, 8, 16, 5);
+        assert_eq!(n.len(), 5);
+        assert!(n.validate().is_ok());
+    }
+}

@@ -1,0 +1,53 @@
+//! VGG-16 (Simonyan & Zisserman, 2015): the classic heavy, purely
+//! sequential CNN — maximal fmap pressure in the early layers, maximal
+//! weight pressure at the end.
+//!
+//! The original 102 MB `fc6` layer exceeds every evaluated buffer and the
+//! notation does not split weights along channels (see the zoo module
+//! docs), so the classifier is the modern global-pool variant.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::shape::FmapShape;
+
+/// VGG-16 feature extractor + global-pool classifier.
+pub fn vgg16(batch: u32) -> Network {
+    let mut b = NetworkBuilder::new("vgg16", 1);
+    let x = b.external(FmapShape::new(batch, 3, 224, 224));
+    let mut cur = x;
+    let stages: [(u32, u32); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (si, &(c, reps)) in stages.iter().enumerate() {
+        for r in 0..reps {
+            cur = b.conv(format!("conv{}_{}", si + 1, r + 1), &[cur], c, 3, 1);
+        }
+        cur = b.pool(format!("pool{}", si + 1), cur, 2, 2);
+    }
+    let gp = b.global_pool("avgpool", cur);
+    let fc = b.linear("fc", &[gp], 1000);
+    b.mark_output(fc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let net = vgg16(1);
+        assert!(net.validate().is_ok());
+        // 13 convs + 5 pools + gap + fc.
+        assert_eq!(net.len(), 13 + 5 + 2);
+    }
+
+    #[test]
+    fn is_compute_heavy() {
+        let net = vgg16(1);
+        // ~30 GOPs (15.3 GMACs) for the features at batch 1.
+        let gops = net.total_ops() as f64 / 1e9;
+        assert!((25.0..36.0).contains(&gops), "{gops} GOPs");
+        // Feature weights ~14.7 MB INT8.
+        let mb = net.total_weight_bytes() as f64 / 1e6;
+        assert!((12.0..18.0).contains(&mb), "{mb} MB");
+    }
+}

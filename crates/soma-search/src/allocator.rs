@@ -1,0 +1,167 @@
+//! The Buffer Allocator: the outermost iteration of the SoMa framework
+//! (paper Sec. V-B).
+//!
+//! Both stages trade buffer capacity for DRAM-communication quality, so
+//! they compete for the GBUF. Each allocator iteration runs a complete
+//! two-stage exploration; after the first (unconstrained) iteration, the
+//! stage-1 budget shrinks by `allocator_step x Buffer_max` per iteration,
+//! freeing headroom for stage-2 prefetching. Iteration stops when two
+//! consecutive budgets fail to beat the best overall cost.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use soma_arch::HardwareConfig;
+use soma_core::Encoding;
+use soma_model::Network;
+
+use crate::dlsa_stage::run_stage2;
+use crate::lfa_stage::run_stage1;
+use crate::objective::{Evaluated, Objective};
+use crate::SearchConfig;
+
+/// Result of a full SoMa exploration.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The stage-1 scheme behind the best overall scheme, evaluated under
+    /// the double-buffer DLSA — the paper's `Ours_1` bars.
+    pub stage1: Evaluated,
+    /// The best overall scheme after stage 2 — the paper's `Ours_2` bars.
+    pub best: Evaluated,
+    /// Number of allocator iterations executed.
+    pub allocator_iters: usize,
+    /// Total schedule evaluations.
+    pub evals: u64,
+}
+
+/// Summary statistics of a found scheme (for the paper's Sec. VI-B
+/// aggregate analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemeShape {
+    /// Number of layer-fusion groups (LGs).
+    pub lgs: usize,
+    /// Number of fine-grained layer-fusion groups (FLGs).
+    pub flgs: usize,
+    /// Total computing tiles.
+    pub tiles: usize,
+    /// Total DRAM tensors.
+    pub dram_tensors: usize,
+}
+
+impl SearchOutcome {
+    /// Shape statistics of the best scheme.
+    pub fn shape(&self, net: &Network) -> SchemeShape {
+        let plan = soma_core::parse_lfa(net, &self.best.encoding.lfa)
+            .expect("best scheme parses by construction");
+        SchemeShape {
+            lgs: plan.n_lgs(),
+            flgs: plan.flgs.len(),
+            tiles: plan.tiles.len(),
+            dram_tensors: plan.dram_tensors.len(),
+        }
+    }
+}
+
+/// Runs the complete SoMa framework: Buffer Allocator around the two SA
+/// stages.
+pub fn schedule(net: &Network, hw: &HardwareConfig, cfg: &SearchConfig) -> SearchOutcome {
+    let mut obj = Objective::new(net, hw, cfg.weights);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut best: Option<(Evaluated, Evaluated)> = None; // (stage1, final)
+    let mut buffer_max = 0u64;
+    let mut limit = hw.buffer_bytes;
+    let mut consecutive_fails = 0usize;
+    let mut iters_done = 0usize;
+
+    for iter in 0..cfg.max_allocator_iters.max(1) {
+        iters_done = iter + 1;
+        let s1 = run_stage1(&mut obj, cfg, &mut rng, limit);
+        if iter == 0 {
+            buffer_max = s1.report.peak_buffer.max(1);
+        }
+        let s2 = run_stage2(&mut obj, cfg, &mut rng, &s1.plan, s1.dlsa.clone(), hw.buffer_bytes);
+
+        let stage1_eval = Evaluated {
+            encoding: Encoding { lfa: s1.lfa.clone(), dlsa: Some(s1.dlsa.clone()) },
+            report: s1.report.clone(),
+            cost: s1.cost,
+        };
+        let final_eval = Evaluated {
+            encoding: Encoding { lfa: s1.lfa, dlsa: Some(s2.dlsa) },
+            report: s2.report,
+            cost: s2.cost,
+        };
+
+        let improved = best.as_ref().is_none_or(|(_, b)| final_eval.cost < b.cost);
+        if improved {
+            best = Some((stage1_eval, final_eval));
+            consecutive_fails = 0;
+        } else {
+            consecutive_fails += 1;
+            if consecutive_fails >= 2 {
+                break;
+            }
+        }
+
+        // Shrink the stage-1 budget for the next iteration.
+        let step = (cfg.allocator_step * buffer_max as f64) as u64;
+        if step == 0 || limit <= step {
+            break;
+        }
+        limit -= step;
+    }
+
+    let (stage1, final_eval) = best.expect("at least one allocator iteration ran");
+    SearchOutcome { stage1, best: final_eval, allocator_iters: iters_done, evals: obj.evals() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soma_model::zoo;
+
+    fn quick_cfg(seed: u64) -> SearchConfig {
+        SearchConfig { effort: 0.05, seed, ..SearchConfig::default() }
+    }
+
+    #[test]
+    fn stage2_never_worse_than_stage1() {
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let out = schedule(&net, &hw, &quick_cfg(1));
+        assert!(out.best.cost <= out.stage1.cost);
+        assert!(out.best.report.latency_cycles <= out.stage1.report.latency_cycles * 2);
+        assert!(out.allocator_iters >= 1);
+        assert!(out.evals > 0);
+    }
+
+    #[test]
+    fn best_scheme_fits_buffer() {
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let out = schedule(&net, &hw, &quick_cfg(2));
+        assert!(out.best.report.peak_buffer <= hw.buffer_bytes);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let net = zoo::fig4(1);
+        let hw = HardwareConfig::edge();
+        let a = schedule(&net, &hw, &quick_cfg(33));
+        let b = schedule(&net, &hw, &quick_cfg(33));
+        assert_eq!(a.best.report.latency_cycles, b.best.report.latency_cycles);
+        assert_eq!(a.best.encoding, b.best.encoding);
+    }
+
+    #[test]
+    fn shape_statistics_are_consistent() {
+        let net = zoo::fig4(1);
+        let hw = HardwareConfig::edge();
+        let out = schedule(&net, &hw, &quick_cfg(4));
+        let shape = out.shape(&net);
+        assert!(shape.lgs <= shape.flgs);
+        assert!(shape.flgs <= net.len());
+        assert!(shape.tiles >= net.len());
+    }
+}

@@ -1,0 +1,212 @@
+//! Stage 2: SA over the DRAM-load-and-store-related attributes
+//! (paper Sec. V-C2).
+//!
+//! The LFA (and hence the plan) is frozen; the annealer permutes the DRAM
+//! Tensor Order and stretches Living Durations. Tensor selection is
+//! proportional to tensor size: "larger tensors generally have a greater
+//! impact on performance and buffer utilisation, warranting more
+//! transformation opportunities".
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use soma_core::{ComputePlan, Dlsa};
+use soma_sim::EvalReport;
+
+use crate::objective::Objective;
+use crate::sa::{anneal, SaResult, SaSchedule};
+use crate::SearchConfig;
+
+/// Size-proportional tensor picker (prefix sums over tensor bytes).
+#[derive(Debug, Clone)]
+pub struct SizeWeightedPicker {
+    cumulative: Vec<u64>,
+}
+
+impl SizeWeightedPicker {
+    /// Builds the picker for a plan's tensor set.
+    pub fn new(plan: &ComputePlan) -> Self {
+        let mut cumulative = Vec::with_capacity(plan.dram_tensors.len());
+        let mut acc = 0u64;
+        for t in &plan.dram_tensors {
+            acc += t.bytes.max(1);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Draws a tensor index with probability proportional to its size.
+    pub fn pick(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty tensor set");
+        let x = rng.gen_range(0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the tensor set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// One random DLSA mutation: *Change DRAM Tensor Order* or *Change Living
+/// Duration*. Returns `None` when the plan has no DRAM tensors or the
+/// mutation is an identity.
+pub fn mutate_dlsa(
+    plan: &ComputePlan,
+    dlsa: &Dlsa,
+    picker: &SizeWeightedPicker,
+    rng: &mut StdRng,
+) -> Option<Dlsa> {
+    if picker.is_empty() {
+        return None;
+    }
+    let ti = picker.pick(rng);
+    let tensor = &plan.dram_tensors[ti];
+    let n_tiles = plan.n_tiles();
+    if rng.gen_bool(0.5) {
+        // Change DRAM Tensor Order.
+        let mut out = dlsa.clone();
+        let cur = out.order.iter().position(|&o| o as usize == ti).expect("in order");
+        out.order.remove(cur);
+        let q = rng.gen_range(0..=out.order.len());
+        out.order.insert(q, ti as u32);
+        if out.order == dlsa.order {
+            return None;
+        }
+        Some(out)
+    } else if tensor.is_load {
+        // Change Living Duration: earlier (or later) Start for loads.
+        let new_start = rng.gen_range(0..=tensor.anchor);
+        if new_start == dlsa.start[ti] {
+            return None;
+        }
+        let mut out = dlsa.clone();
+        out.start[ti] = new_start;
+        Some(out)
+    } else {
+        // Change Living Duration: later (or earlier) End for stores.
+        let new_end = rng.gen_range(tensor.anchor + 1..=n_tiles);
+        if new_end == dlsa.end[ti] {
+            return None;
+        }
+        let mut out = dlsa.clone();
+        out.end[ti] = new_end;
+        Some(out)
+    }
+}
+
+/// Best scheme found by stage 2.
+#[derive(Debug, Clone)]
+pub struct Stage2Result {
+    /// The winning DLSA.
+    pub dlsa: Dlsa,
+    /// Its evaluation.
+    pub report: EvalReport,
+    /// Penalised objective value.
+    pub cost: f64,
+}
+
+/// Runs the stage-2 annealer on a frozen plan, starting from `init`
+/// (normally the double-buffer DLSA of the stage-1 winner).
+pub fn run_stage2(
+    obj: &mut Objective<'_>,
+    cfg: &SearchConfig,
+    rng: &mut StdRng,
+    plan: &ComputePlan,
+    init: Dlsa,
+    buffer_limit: u64,
+) -> Stage2Result {
+    let picker = SizeWeightedPicker::new(plan);
+    let (init_cost, init_report) = obj
+        .eval_parts(plan, &init, buffer_limit)
+        .expect("double-buffer DLSA cannot deadlock");
+
+    if picker.is_empty() {
+        return Stage2Result { dlsa: init, report: init_report, cost: init_cost };
+    }
+
+    let iters = cfg.stage2_iters(picker.len());
+    let schedule = SaSchedule {
+        t0: cfg.t0,
+        alpha: cfg.alpha,
+        iters,
+        greedy_tail: iters / 10,
+        time_budget: cfg.stage_time_budget(),
+    };
+    let result: SaResult<Dlsa> = anneal(&schedule, rng, init, init_cost, |dlsa, rng| {
+        let cand = mutate_dlsa(plan, dlsa, &picker, rng)?;
+        let (cost, _) = obj.eval_parts(plan, &cand, buffer_limit)?;
+        Some((cand, cost))
+    });
+
+    let (cost, report) = obj
+        .eval_parts(plan, &result.best, buffer_limit)
+        .expect("best stage-2 solution must re-evaluate");
+    Stage2Result { dlsa: result.best, report, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{CostWeights, Objective};
+    use rand::SeedableRng;
+    use soma_arch::HardwareConfig;
+    use soma_core::{parse_lfa, Lfa};
+    use soma_model::zoo;
+
+    fn setup() -> (soma_model::Network, ComputePlan, Dlsa) {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::fully_fused(&net, 4)).unwrap();
+        let dlsa = Dlsa::double_buffer(&plan);
+        (net, plan, dlsa)
+    }
+
+    #[test]
+    fn picker_is_size_biased() {
+        let (_, plan, _) = setup();
+        let picker = SizeWeightedPicker::new(&plan);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; picker.len()];
+        for _ in 0..5000 {
+            counts[picker.pick(&mut rng)] += 1;
+        }
+        // The largest tensor must be drawn more often than the smallest.
+        let sizes: Vec<u64> = plan.dram_tensors.iter().map(|t| t.bytes).collect();
+        let max_i = (0..sizes.len()).max_by_key(|&i| sizes[i]).unwrap();
+        let min_i = (0..sizes.len()).min_by_key(|&i| sizes[i]).unwrap();
+        assert!(counts[max_i] > counts[min_i]);
+    }
+
+    #[test]
+    fn mutations_stay_valid() {
+        let (_, plan, dlsa) = setup();
+        let picker = SizeWeightedPicker::new(&plan);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cur = dlsa;
+        let mut changed = 0;
+        for _ in 0..500 {
+            if let Some(cand) = mutate_dlsa(&plan, &cur, &picker, &mut rng) {
+                assert!(cand.validate(&plan).is_ok());
+                cur = cand;
+                changed += 1;
+            }
+        }
+        assert!(changed > 100);
+    }
+
+    #[test]
+    fn stage2_never_worse_than_double_buffer() {
+        let (net, plan, dlsa) = setup();
+        let hw = HardwareConfig::edge();
+        let mut obj = Objective::new(&net, &hw, CostWeights::default());
+        let mut rng = StdRng::seed_from_u64(17);
+        let cfg = SearchConfig { effort: 0.3, ..SearchConfig::default() };
+        let init_cost = obj.eval_parts(&plan, &dlsa, hw.buffer_bytes).unwrap().0;
+        let res = run_stage2(&mut obj, &cfg, &mut rng, &plan, dlsa, hw.buffer_bytes);
+        assert!(res.cost <= init_cost);
+    }
+}

@@ -1,0 +1,120 @@
+//! The SoMa exploration framework (paper Sec. V): a Buffer Allocator
+//! driving two simulated-annealing stages over the DRAM communication
+//! scheduling space, plus the Cocco baseline (Sec. VI-A3).
+//!
+//! * [`sa`] — the generic annealer with the paper's cooling schedule.
+//! * [`objective`] — the `Energy^n x Delay^m` objective with buffer-budget
+//!   penalties, wrapping the evaluator.
+//! * [`lfa_stage`] — stage 1: SA over the layer-fusion attributes under
+//!   the classical double-buffer DLSA.
+//! * [`dlsa_stage`] — stage 2: SA over DRAM tensor order and living
+//!   durations with size-proportional tensor selection.
+//! * [`allocator`] — the outer Buffer Allocator iteration.
+//! * [`cocco`] — the restricted baseline: FLC set == DRAM cut set,
+//!   KC-parallelism heuristic tiling, double-buffer DLSA.
+//!
+//! ```
+//! use soma_arch::HardwareConfig;
+//! use soma_model::zoo;
+//! use soma_search::{schedule, SearchConfig};
+//!
+//! let net = zoo::fig2(1);
+//! let cfg = SearchConfig { effort: 0.02, seed: 1, ..SearchConfig::default() };
+//! let out = schedule(&net, &HardwareConfig::edge(), &cfg);
+//! assert!(out.best.cost <= out.stage1.cost);
+//! ```
+
+pub mod allocator;
+pub mod cocco;
+pub mod dlsa_stage;
+pub mod lfa_stage;
+pub mod objective;
+pub mod sa;
+pub mod sweep;
+
+pub use allocator::{schedule, SearchOutcome};
+pub use cocco::{cocco_tiling, schedule_cocco};
+pub use objective::{CostWeights, Evaluated, Objective};
+pub use sa::{anneal, SaResult, SaSchedule};
+pub use sweep::{dse, envelope, grid, DsePoint, GridPoint};
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the exploration framework (the paper's "framework configs").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Objective exponents (`Energy^n x Delay^m`; paper default 1, 1).
+    pub weights: CostWeights,
+    /// RNG seed; the paper's artifact uses the same seed for SoMa and the
+    /// baseline of each configuration.
+    pub seed: u64,
+    /// Iteration-budget scale. `1.0` reproduces the paper's budgets
+    /// (`beta = 100` per layer in stage 1, `1000` per DRAM tensor in
+    /// stage 2); CI-scale runs use `0.01..0.1`.
+    pub effort: f64,
+    /// Initial SA temperature `T0`.
+    pub t0: f64,
+    /// Cooling rate `alpha` of `T_n = T0 (1 - n/N) / (1 + alpha n/N)`.
+    pub alpha: f64,
+    /// Buffer Allocator step as a fraction of `Buffer_max` (paper: 10 %).
+    pub allocator_step: f64,
+    /// Upper bound on Buffer Allocator iterations.
+    pub max_allocator_iters: usize,
+    /// Hard cap on stage-1 iterations per allocator round (bounds runtime
+    /// on very deep networks such as GPT-2-XL; the paper instead bounds
+    /// wall-clock with a termination time).
+    pub stage1_cap: u64,
+    /// Hard cap on stage-2 iterations per allocator round.
+    pub stage2_cap: u64,
+    /// Ablation switch: force the FLC set to equal the DRAM cut set, i.e.
+    /// disable the paper's weight-shuffling fine-grained cuts (the
+    /// add/delete-FLC and add/delete-DRAM-cut operators collapse into a
+    /// single linked pair, as in Cocco's space but with free tiling).
+    pub link_cuts: bool,
+    /// Optional per-stage wall-clock budget in seconds (0 = unlimited).
+    /// Past the budget, an annealing stage finishes with its greedy tail
+    /// (the paper's "additional termination time").
+    pub stage_time_budget_secs: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            weights: CostWeights::default(),
+            seed: 0x50_4D_41, // "SMA"
+            effort: 1.0,
+            t0: 0.2,
+            alpha: 4.0,
+            allocator_step: 0.10,
+            max_allocator_iters: 8,
+            stage1_cap: 500_000,
+            stage2_cap: 2_000_000,
+            link_cuts: false,
+            stage_time_budget_secs: 0.0,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Stage-1 iteration count for a network with `layers` layers
+    /// (`beta = 100` scaled by `effort`, capped by `stage1_cap`).
+    pub fn stage1_iters(&self, layers: usize) -> u64 {
+        ((100.0 * layers as f64 * self.effort) as u64)
+            .max(40)
+            .min(self.stage1_cap)
+    }
+
+    /// Stage-2 iteration count for a plan with `tensors` DRAM tensors
+    /// (`beta = 1000` scaled by `effort`, capped by `stage2_cap`).
+    pub fn stage2_iters(&self, tensors: usize) -> u64 {
+        ((1000.0 * tensors as f64 * self.effort) as u64)
+            .max(80)
+            .min(self.stage2_cap)
+    }
+
+    /// The per-stage wall-clock budget as a `Duration`, if set.
+    pub fn stage_time_budget(&self) -> Option<std::time::Duration> {
+        (self.stage_time_budget_secs > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(self.stage_time_budget_secs))
+    }
+}

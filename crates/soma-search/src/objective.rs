@@ -1,0 +1,177 @@
+//! The optimisation objective: `Energy^n x Delay^m` with buffer-budget
+//! penalties.
+
+use serde::{Deserialize, Serialize};
+use soma_arch::HardwareConfig;
+use soma_core::{parse_lfa, ComputePlan, Dlsa, Encoding, Lfa};
+use soma_model::Network;
+use soma_sim::{evaluate_parts, CoreArrayModel, EvalReport};
+
+/// Exponents of the paper's objective `Energy^n x Delay^m` (Sec. V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Energy exponent `n`.
+    pub energy_exp: f64,
+    /// Delay exponent `m`.
+    pub delay_exp: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        // "The optimisation goal is set as Energy^1 x Delay^1" (Sec. VI-A1).
+        Self { energy_exp: 1.0, delay_exp: 1.0 }
+    }
+}
+
+/// A fully evaluated scheduling scheme.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The scheme.
+    pub encoding: Encoding,
+    /// Its evaluation report.
+    pub report: EvalReport,
+    /// Its penalised objective value.
+    pub cost: f64,
+}
+
+/// Objective function bound to one network + hardware pair, owning the
+/// memoised core-array model.
+#[derive(Debug)]
+pub struct Objective<'a> {
+    net: &'a Network,
+    hw: &'a HardwareConfig,
+    weights: CostWeights,
+    model: CoreArrayModel<'a>,
+    evals: u64,
+}
+
+impl<'a> Objective<'a> {
+    /// Creates the objective.
+    pub fn new(net: &'a Network, hw: &'a HardwareConfig, weights: CostWeights) -> Self {
+        Self { net, hw, weights, model: CoreArrayModel::new(hw), evals: 0 }
+    }
+
+    /// The network under optimisation.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    /// The target hardware.
+    pub fn hardware(&self) -> &'a HardwareConfig {
+        self.hw
+    }
+
+    /// Number of schedule evaluations performed so far.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Penalised objective for a report under a buffer budget: schemes
+    /// whose peak occupancy exceeds `buffer_limit` are steeply penalised
+    /// (the paper deems them invalid; the penalty keeps the annealer's
+    /// gradient alive when even the initial solution overflows).
+    pub fn cost_of(&self, report: &EvalReport, buffer_limit: u64) -> f64 {
+        let mut cost = report.cost(self.hw, self.weights.energy_exp, self.weights.delay_exp);
+        if buffer_limit > 0 && report.peak_buffer > buffer_limit {
+            let over = report.peak_buffer as f64 / buffer_limit as f64;
+            cost *= over.powi(8);
+        }
+        cost
+    }
+
+    /// Whether a report fits the budget.
+    pub fn feasible(&self, report: &EvalReport, buffer_limit: u64) -> bool {
+        report.peak_buffer <= buffer_limit
+    }
+
+    /// Evaluates a plan + DLSA pair. Returns `None` for deadlocked DRAM
+    /// tensor orders (invalid schemes).
+    pub fn eval_parts(
+        &mut self,
+        plan: &ComputePlan,
+        dlsa: &Dlsa,
+        buffer_limit: u64,
+    ) -> Option<(f64, EvalReport)> {
+        self.evals += 1;
+        let report = evaluate_parts(self.net, plan, dlsa, self.hw, &mut self.model).ok()?;
+        let cost = self.cost_of(&report, buffer_limit);
+        Some((cost, report))
+    }
+
+    /// Parses and evaluates an LFA under the double-buffer DLSA (the
+    /// stage-1 view). Returns `None` for structurally invalid LFAs.
+    pub fn eval_lfa(
+        &mut self,
+        lfa: &Lfa,
+        buffer_limit: u64,
+    ) -> Option<(f64, ComputePlan, Dlsa, EvalReport)> {
+        let plan = parse_lfa(self.net, lfa).ok()?;
+        let dlsa = Dlsa::double_buffer(&plan);
+        let (cost, report) = self.eval_parts(&plan, &dlsa, buffer_limit)?;
+        Some((cost, plan, dlsa, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soma_model::zoo;
+
+    #[test]
+    fn penalty_kicks_in_above_budget() {
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let mut obj = Objective::new(&net, &hw, CostWeights::default());
+        let lfa = Lfa::fully_fused(&net, 4);
+        let (_, _, _, report) = obj.eval_lfa(&lfa, hw.buffer_bytes).unwrap();
+        let free = obj.cost_of(&report, u64::MAX);
+        let squeezed = obj.cost_of(&report, report.peak_buffer / 2);
+        assert!(squeezed > free * 100.0);
+        assert!(obj.feasible(&report, hw.buffer_bytes));
+        assert!(!obj.feasible(&report, report.peak_buffer - 1));
+    }
+
+    #[test]
+    fn eval_counts_accumulate() {
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let mut obj = Objective::new(&net, &hw, CostWeights::default());
+        let lfa = Lfa::unfused(&net, 2);
+        obj.eval_lfa(&lfa, hw.buffer_bytes);
+        obj.eval_lfa(&lfa, hw.buffer_bytes);
+        assert_eq!(obj.evals(), 2);
+    }
+
+    #[test]
+    fn deadlocked_dlsa_yields_none() {
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let mut obj = Objective::new(&net, &hw, CostWeights::default());
+        let lfa = Lfa::unfused(&net, 2);
+        let (_, plan, mut dlsa, _) = obj.eval_lfa(&lfa, hw.buffer_bytes).unwrap();
+        // Move the last store to the front of the queue: the first tile's
+        // loads now sit behind a store that needs the last tile.
+        let last_store = plan
+            .dram_tensors
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| !t.is_load)
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        let pos = dlsa.order.iter().position(|&o| o == last_store).unwrap();
+        dlsa.order.remove(pos);
+        dlsa.order.insert(0, last_store);
+        assert!(obj.eval_parts(&plan, &dlsa, hw.buffer_bytes).is_none());
+    }
+
+    #[test]
+    fn invalid_lfa_yields_none() {
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let mut obj = Objective::new(&net, &hw, CostWeights::default());
+        let mut lfa = Lfa::unfused(&net, 2);
+        lfa.order.swap(0, 2);
+        assert!(obj.eval_lfa(&lfa, hw.buffer_bytes).is_none());
+    }
+}

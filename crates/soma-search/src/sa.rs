@@ -1,0 +1,186 @@
+//! Generic simulated annealing with the paper's cooling schedule
+//! (Sec. V-C).
+
+use rand::Rng;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaSchedule {
+    /// Initial temperature `T0`.
+    pub t0: f64,
+    /// Cooling rate `alpha`.
+    pub alpha: f64,
+    /// Total iteration count `N`.
+    pub iters: u64,
+    /// Extra iterations after cool-down that accept only improvements
+    /// (the paper's optional greedy termination phase).
+    pub greedy_tail: u64,
+    /// Optional wall-clock budget: once elapsed, the annealer jumps
+    /// straight to the greedy tail ("once this time is reached, the
+    /// algorithm performs Y more iterations, accepting only improved
+    /// solutions" — paper Sec. V-C).
+    pub time_budget: Option<std::time::Duration>,
+}
+
+impl SaSchedule {
+    /// Temperature at iteration `n` of `N`:
+    /// `T_n = T0 * (1 - n/N) / (1 + alpha * n/N)`.
+    pub fn temperature(&self, n: u64) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        let x = n as f64 / self.iters as f64;
+        (self.t0 * (1.0 - x) / (1.0 + self.alpha * x)).max(0.0)
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct SaResult<S> {
+    /// Best state observed.
+    pub best: S,
+    /// Cost of `best`.
+    pub best_cost: f64,
+    /// Number of proposals evaluated (valid neighbours).
+    pub evaluated: u64,
+    /// Number of accepted moves.
+    pub accepted: u64,
+}
+
+/// Runs simulated annealing from `init`.
+///
+/// `neighbor` proposes a mutated state and its cost; returning `None`
+/// means the mutation was invalid (rejected without cost). Acceptance of a
+/// worse state with cost `c'` over `c` uses `p = exp((c - c') / (c T_n))`
+/// — the paper's relative-degradation criterion.
+pub fn anneal<S: Clone, R: Rng>(
+    schedule: &SaSchedule,
+    rng: &mut R,
+    init: S,
+    init_cost: f64,
+    mut neighbor: impl FnMut(&S, &mut R) -> Option<(S, f64)>,
+) -> SaResult<S> {
+    let mut cur = init.clone();
+    let mut cur_cost = init_cost;
+    let mut best = init;
+    let mut best_cost = init_cost;
+    let mut evaluated = 0;
+    let mut accepted = 0;
+    let started = std::time::Instant::now();
+
+    let total = schedule.iters + schedule.greedy_tail;
+    let mut greedy_since: Option<u64> = None;
+    for n in 0..total {
+        if greedy_since.is_none() {
+            if n >= schedule.iters {
+                greedy_since = Some(n);
+            } else if n % 64 == 0 {
+                if let Some(budget) = schedule.time_budget {
+                    if started.elapsed() >= budget {
+                        greedy_since = Some(n); // termination time reached
+                    }
+                }
+            }
+        }
+        let greedy = greedy_since.is_some();
+        if let Some(since) = greedy_since {
+            if n - since >= schedule.greedy_tail {
+                break; // Y greedy iterations done
+            }
+        }
+        let Some((cand, cost)) = neighbor(&cur, rng) else {
+            continue;
+        };
+        evaluated += 1;
+        let accept = if cost <= cur_cost {
+            true
+        } else if greedy {
+            false
+        } else {
+            let t = schedule.temperature(n);
+            if t <= 0.0 || cur_cost <= 0.0 {
+                false
+            } else {
+                let p = ((cur_cost - cost) / (cur_cost * t)).exp();
+                rng.gen_bool(p.clamp(0.0, 1.0))
+            }
+        };
+        if accept {
+            cur = cand;
+            cur_cost = cost;
+            accepted += 1;
+            if cur_cost < best_cost {
+                best = cur.clone();
+                best_cost = cur_cost;
+            }
+        }
+    }
+
+    SaResult { best, best_cost, evaluated, accepted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sched(iters: u64) -> SaSchedule {
+        SaSchedule { t0: 0.2, alpha: 4.0, iters, greedy_tail: iters / 10, time_budget: None }
+    }
+
+    #[test]
+    fn temperature_decreases_to_zero() {
+        let s = sched(100);
+        assert!((s.temperature(0) - 0.2).abs() < 1e-12);
+        assert!(s.temperature(50) < s.temperature(10));
+        assert_eq!(s.temperature(100), 0.0);
+    }
+
+    #[test]
+    fn finds_minimum_of_quadratic() {
+        // State: integer x; cost (x - 17)^2 + 1.
+        let cost = |x: i64| ((x - 17) * (x - 17) + 1) as f64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = anneal(&sched(3000), &mut rng, 100i64, cost(100), |&x, rng| {
+            let step = rng.gen_range(-3..=3);
+            let y = x + step;
+            Some((y, cost(y)))
+        });
+        assert_eq!(r.best, 17);
+        assert!(r.accepted > 0);
+    }
+
+    #[test]
+    fn invalid_neighbours_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = anneal(&sched(50), &mut rng, 0i64, 10.0, |_, _| None);
+        assert_eq!(r.evaluated, 0);
+        assert_eq!(r.best, 0);
+        assert_eq!(r.best_cost, 10.0);
+    }
+
+    #[test]
+    fn greedy_tail_never_worsens() {
+        // With only-worse proposals in the tail, best stays put.
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = SaSchedule { t0: 0.2, alpha: 4.0, iters: 0, greedy_tail: 100, time_budget: None };
+        let r = anneal(&s, &mut rng, 5i64, 5.0, |&x, _| Some((x + 1, 1000.0)));
+        assert_eq!(r.best, 5);
+        assert_eq!(r.accepted, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cost = |x: i64| (x * x) as f64;
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            anneal(&sched(500), &mut rng, 40i64, cost(40), |&x, rng| {
+                let y = x + rng.gen_range(-2..=2);
+                Some((y, cost(y)))
+            })
+            .best
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

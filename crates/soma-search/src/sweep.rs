@@ -1,0 +1,178 @@
+//! Design-space exploration sweeps (paper Sec. VII-A / Fig. 7).
+//!
+//! Runs the full SoMa framework (and optionally the Cocco baseline) over
+//! a grid of buffer-capacity x DRAM-bandwidth points, in parallel with
+//! scoped threads, returning one latency/energy record per point. This is
+//! the programmatic API behind the `fig7` harness binary and the
+//! `dse_sweep` example.
+
+use serde::{Deserialize, Serialize};
+use soma_arch::HardwareConfig;
+use soma_model::Network;
+
+use crate::{schedule, schedule_cocco, SearchConfig};
+
+/// One grid point of the DSE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// GBUF capacity in bytes.
+    pub buffer_bytes: u64,
+    /// DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: u64,
+}
+
+/// Result at one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DsePoint {
+    /// The grid point.
+    pub point: GridPoint,
+    /// Best SoMa latency in cycles.
+    pub soma_latency: u64,
+    /// Best SoMa energy in picojoules.
+    pub soma_energy_pj: f64,
+    /// Cocco baseline latency in cycles (if requested).
+    pub cocco_latency: Option<u64>,
+}
+
+/// Builds the cross product of buffer sizes (MiB) and bandwidths (bytes
+/// per cycle = GB/s at 1 GHz).
+pub fn grid(buffers_mib: &[u64], bandwidths: &[u64]) -> Vec<GridPoint> {
+    let mut out = Vec::with_capacity(buffers_mib.len() * bandwidths.len());
+    for &mib in buffers_mib {
+        for &bw in bandwidths {
+            out.push(GridPoint { buffer_bytes: mib << 20, dram_bytes_per_cycle: bw });
+        }
+    }
+    out
+}
+
+/// Runs the sweep over `points`, spreading work across `threads`. With
+/// `with_cocco`, each point also runs the baseline. Results come back in
+/// grid order regardless of thread scheduling.
+pub fn dse(
+    net: &Network,
+    base: &HardwareConfig,
+    points: &[GridPoint],
+    cfg: &SearchConfig,
+    threads: usize,
+    with_cocco: bool,
+) -> Vec<DsePoint> {
+    let mut results: Vec<Option<DsePoint>> = vec![None; points.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&point) = points.get(i) else { break };
+                let hw = HardwareConfig::builder()
+                    .like(base)
+                    .name(format!(
+                        "{}-{}MB-{}Bpc",
+                        base.name,
+                        point.buffer_bytes >> 20,
+                        point.dram_bytes_per_cycle
+                    ))
+                    .buffer_bytes(point.buffer_bytes)
+                    .dram_gbps(point.dram_bytes_per_cycle as f64 * base.freq_hz as f64 / 1e9)
+                    .build();
+                // Distinct seed per point so neighbouring cells explore
+                // independently (as the paper's per-configuration seeds do).
+                let cell_cfg = SearchConfig { seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37), ..cfg.clone() };
+                let soma = schedule(net, &hw, &cell_cfg);
+                let cocco_latency = with_cocco
+                    .then(|| schedule_cocco(net, &hw, &cell_cfg).report.latency_cycles);
+                let record = DsePoint {
+                    point,
+                    soma_latency: soma.best.report.latency_cycles,
+                    soma_energy_pj: soma.best.report.energy.total_pj(),
+                    cocco_latency,
+                };
+                slots.lock().expect("result lock")[i] = Some(record);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every grid point was processed"))
+        .collect()
+}
+
+/// Finds the paper's "red envelope" (Fig. 7): the cheapest hardware
+/// points whose latency is within `tolerance` (relative) of the global
+/// minimum across the sweep. The paper highlights that under SoMa this
+/// set forms a lower triangle — large buffers substitute for DRAM
+/// bandwidth.
+pub fn envelope(points: &[DsePoint], tolerance: f64) -> Vec<GridPoint> {
+    let best = points.iter().map(|p| p.soma_latency).min().unwrap_or(0);
+    if best == 0 {
+        return Vec::new();
+    }
+    let cut = best as f64 * (1.0 + tolerance);
+    points
+        .iter()
+        .filter(|p| (p.soma_latency as f64) <= cut)
+        .map(|p| p.point)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soma_model::zoo;
+
+    #[test]
+    fn envelope_contains_the_minimum() {
+        let mk = |b: u64, bw: u64, lat: u64| DsePoint {
+            point: GridPoint { buffer_bytes: b, dram_bytes_per_cycle: bw },
+            soma_latency: lat,
+            soma_energy_pj: 1.0,
+            cocco_latency: None,
+        };
+        let pts = vec![mk(1, 1, 100), mk(2, 2, 102), mk(4, 4, 150)];
+        let env = envelope(&pts, 0.05);
+        assert_eq!(env.len(), 2);
+        assert!(env.contains(&pts[0].point));
+        assert!(envelope(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn grid_is_cross_product_in_order() {
+        let g = grid(&[2, 4], &[8, 16, 32]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], GridPoint { buffer_bytes: 2 << 20, dram_bytes_per_cycle: 8 });
+        assert_eq!(g[5], GridPoint { buffer_bytes: 4 << 20, dram_bytes_per_cycle: 32 });
+    }
+
+    #[test]
+    fn dse_returns_points_in_grid_order() {
+        let net = zoo::fig2(1);
+        let base = HardwareConfig::edge();
+        let cfg = SearchConfig { effort: 0.02, seed: 3, ..SearchConfig::default() };
+        let points = grid(&[2, 8], &[8, 64]);
+        let out = dse(&net, &base, &points, &cfg, 4, true);
+        assert_eq!(out.len(), 4);
+        for (p, r) in points.iter().zip(&out) {
+            assert_eq!(&r.point, p);
+            assert!(r.soma_latency > 0);
+            assert!(r.cocco_latency.unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_helps_dram_bound_workloads() {
+        let net = zoo::fig2(1);
+        let base = HardwareConfig::edge();
+        let cfg = SearchConfig { effort: 0.05, seed: 7, ..SearchConfig::default() };
+        let points = grid(&[8], &[4, 128]);
+        let out = dse(&net, &base, &points, &cfg, 2, false);
+        assert!(
+            out[1].soma_latency <= out[0].soma_latency,
+            "128 B/c {} vs 4 B/c {}",
+            out[1].soma_latency,
+            out[0].soma_latency
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! ASCII execution graphs in the style of the paper's DRAM-COMPUTE
+//! diagrams (Fig. 4 right, Fig. 8).
+
+use soma_core::{lifetime, ComputePlan, DramKind, ParsedSchedule};
+use soma_model::Network;
+
+use crate::timeline::Timeline;
+
+fn tensor_label(net: &Network, kind: DramKind) -> String {
+    match kind {
+        DramKind::Weight(l) => format!("W{}", net.layer(l).name),
+        DramKind::Ifmap { layer, tile, .. } => format!("I{}{}", net.layer(layer).name, tile + 1),
+        DramKind::Ofmap { layer, tile } => format!("O{}{}", net.layer(layer).name, tile + 1),
+    }
+}
+
+fn tile_label(net: &Network, plan: &ComputePlan, pos: usize) -> String {
+    let t = &plan.tiles[pos];
+    format!("{}{}", net.layer(t.layer).name, t.tile_idx + 1)
+}
+
+/// Renders a two-row (DRAM / COMPUTE) execution graph over `width`
+/// character columns, each block labelled like the paper (`WA`, `IA1`,
+/// `OC4`; tiles `A1`, `B2`, ...). Idle time shows as `.`.
+pub fn render_gantt(net: &Network, sched: &ParsedSchedule, tl: &Timeline, width: usize) -> String {
+    let width = width.max(20);
+    let latency = tl.latency.max(1);
+    let col = |cycle: u64| -> usize {
+        ((cycle as u128 * width as u128) / latency as u128) as usize
+    };
+
+    let mut dram_row = vec!['.'; width + 1];
+    let mut dram_text = String::new();
+    for (k, &ti) in sched.dlsa.order.iter().enumerate() {
+        let i = ti as usize;
+        let (s, e) = (tl.tensor_start[i], tl.tensor_end[i]);
+        let (a, b) = (col(s), col(e).max(col(s) + 1));
+        let ch = if sched.plan.dram_tensors[i].is_load { '#' } else { '=' };
+        for slot in dram_row.iter_mut().take(b.min(width)).skip(a) {
+            *slot = ch;
+        }
+        if k > 0 {
+            dram_text.push(' ');
+        }
+        dram_text.push_str(&tensor_label(net, sched.plan.dram_tensors[i].kind));
+    }
+
+    let mut comp_row = vec!['.'; width + 1];
+    let mut comp_text = String::new();
+    for pos in 0..sched.plan.tiles.len() {
+        let (s, e) = (tl.tile_start[pos], tl.tile_end[pos]);
+        let (a, b) = (col(s), col(e).max(col(s) + 1));
+        for slot in comp_row.iter_mut().take(b.min(width)).skip(a) {
+            *slot = '#';
+        }
+        if pos > 0 {
+            comp_text.push(' ');
+        }
+        comp_text.push_str(&tile_label(net, &sched.plan, pos));
+    }
+
+    // BUFFER row: per-tile occupancy quantised to a 9-level sparkline,
+    // painted over each tile's time span (the paper's Fig. 4 bottom row).
+    let profile = lifetime::buffer_profile(&sched.plan, &sched.dlsa);
+    let peak = profile.iter().copied().max().unwrap_or(0).max(1);
+    let mut buf_row = vec![' '; width + 1];
+    for (pos, &usage) in profile.iter().enumerate() {
+        let (a, b) = (col(tl.tile_start[pos]), col(tl.tile_end[pos]).max(col(tl.tile_start[pos]) + 1));
+        let level = ((usage as u128 * 8) / peak as u128) as usize;
+        let ch = [' ', '1', '2', '3', '4', '5', '6', '7', '8'][level.min(8)];
+        for slot in buf_row.iter_mut().take(b.min(width)).skip(a) {
+            *slot = ch;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("latency: {} cycles\n", tl.latency));
+    out.push_str("DRAM    |");
+    out.extend(dram_row.into_iter().take(width));
+    out.push_str("|\nCOMPUTE |");
+    out.extend(comp_row.into_iter().take(width));
+    out.push_str("|\nBUFFER  |");
+    out.extend(buf_row.into_iter().take(width));
+    out.push_str(&format!("| peak {peak} B\n"));
+    out.push_str(&format!("dram order:   {dram_text}\n"));
+    out.push_str(&format!("compute order: {comp_text}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_array::CoreArrayModel;
+    use crate::timeline::simulate;
+    use soma_arch::HardwareConfig;
+    use soma_core::{Encoding, Lfa};
+    use soma_model::zoo;
+
+    #[test]
+    fn renders_rows_and_labels() {
+        let net = zoo::fig2(1);
+        let sched =
+            ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 2))).unwrap();
+        let hw = HardwareConfig::edge();
+        let mut m = CoreArrayModel::new(&hw);
+        let tl = simulate(&sched.plan, &sched.dlsa, &hw, &mut m).unwrap();
+        let g = render_gantt(&net, &sched, &tl, 60);
+        assert!(g.contains("DRAM"));
+        assert!(g.contains("COMPUTE"));
+        assert!(g.contains("BUFFER"));
+        assert!(g.contains("peak"));
+        assert!(g.contains("WA"));
+        assert!(g.contains("A1"));
+        assert!(g.lines().count() >= 6);
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let net = zoo::fig2(1);
+        let sched =
+            ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 1))).unwrap();
+        let hw = HardwareConfig::edge();
+        let mut m = CoreArrayModel::new(&hw);
+        let tl = simulate(&sched.plan, &sched.dlsa, &hw, &mut m).unwrap();
+        let g = render_gantt(&net, &sched, &tl, 1);
+        assert!(g.contains('|'));
+    }
+}

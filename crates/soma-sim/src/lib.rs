@@ -1,0 +1,40 @@
+//! The SoMa evaluator (paper Sec. V-D): an accurate, deterministic
+//! simulator for schedules expressed in the tensor-centric notation.
+//!
+//! Evaluation is local-to-global:
+//!
+//! 1. [`core_array`] assesses each computing tile in isolation — how the
+//!    core group divides it into sub-tiles, the GBUF/L0 traffic this
+//!    causes, the resulting cycles and energy (a classic intra-tile
+//!    mapper in the Timeloop/MAESTRO mould, memoised per layer/shape).
+//! 2. [`timeline`] plays the serial DRAM-tensor queue against the serial
+//!    compute-tile queue under the paper's start conditions, yielding
+//!    exact start/end times, the total latency, and stall structure.
+//! 3. [`report`] rolls everything up into an [`EvalReport`] with the
+//!    quantities Fig. 6 plots (energy split, utilisations, buffer usage,
+//!    theoretical maximum utilisation).
+//!
+//! ```
+//! use soma_arch::HardwareConfig;
+//! use soma_core::{Encoding, Lfa, ParsedSchedule};
+//! use soma_model::zoo;
+//! use soma_sim::evaluate;
+//!
+//! let net = zoo::fig2(1);
+//! let sched = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 4)))?;
+//! let report = evaluate(&net, &sched, &HardwareConfig::edge())?;
+//! assert!(report.latency_cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod core_array;
+pub mod gantt;
+pub mod report;
+pub mod stall;
+pub mod timeline;
+
+pub use core_array::{CoreArrayModel, TileCost};
+pub use gantt::render_gantt;
+pub use report::{evaluate, evaluate_parts, evaluate_with_model, EnergyBreakdown, EvalReport};
+pub use stall::{attribute_stalls, summarize, Stall, StallCause, StallSummary};
+pub use timeline::{simulate, SimError, Timeline};

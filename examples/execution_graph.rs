@@ -1,0 +1,41 @@
+//! Execution-graph comparison (paper Fig. 8): render the DRAM/COMPUTE
+//! timelines of Cocco, SoMa stage 1, and SoMa stage 2 on one network to
+//! *see* where prefetching and delayed storing erase stalls.
+//!
+//! Run with: `cargo run --release --example execution_graph`
+
+use soma::core::ParsedSchedule;
+use soma::model::zoo;
+use soma::prelude::*;
+use soma::search::schedule_cocco;
+use soma::sim::{attribute_stalls, render_gantt, summarize};
+
+fn main() {
+    let net = zoo::fig4(1);
+    let hw = HardwareConfig::edge();
+    let cfg = SearchConfig { effort: 0.5, seed: 2024, ..SearchConfig::default() };
+
+    let cocco = schedule_cocco(&net, &hw, &cfg);
+    let soma = soma::search::schedule(&net, &hw, &cfg);
+
+    for (title, eval) in [
+        ("Cocco", &cocco),
+        ("SoMa stage 1 (fusion only, double-buffer)", &soma.stage1),
+        ("SoMa stage 2 (+ prefetch & delayed store)", &soma.best),
+    ] {
+        println!("=== {title} ===");
+        let sched = ParsedSchedule::new(&net, &eval.encoding).expect("scheme parses");
+        println!("{}", render_gantt(&net, &sched, &eval.report.timeline, 100));
+        let stalls = attribute_stalls(&sched.plan, &sched.dlsa, &eval.report.timeline);
+        let summary = summarize(&stalls);
+        println!(
+            "cost (E*D): {:.3e} | compute stall: {} cycles \
+             (waiting on weights {}, ifmaps {}, stores {})\n",
+            eval.cost,
+            eval.report.timeline.compute_stall(),
+            summary.weight_cycles,
+            summary.ifmap_cycles,
+            summary.store_cycles
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: schedule the paper's Fig. 2 three-layer network on the edge
+//! accelerator and compare the classical double-buffer baseline against the
+//! full SoMa exploration.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use soma::core::{Encoding, Lfa, ParsedSchedule};
+use soma::model::zoo;
+use soma::prelude::*;
+use soma::sim::render_gantt;
+
+fn main() {
+    let net = zoo::fig2(1);
+    let hw = HardwareConfig::edge();
+
+    println!("network: {} ({} layers, {:.2} GOPs, {:.2} MB weights)", net.name(), net.len(), net.total_ops() as f64 / 1e9, net.total_weight_bytes() as f64 / (1 << 20) as f64);
+    println!("hardware: {} ({} TOPS, {} MB GBUF, {} GB/s DRAM)\n", hw.name, hw.peak_tops(), hw.buffer_bytes >> 20, hw.dram_bytes_per_cycle);
+
+    // Baseline: no fusion, minimum-granularity tiles, double-buffer DLSA.
+    let baseline = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 4)))
+        .expect("unfused encoding always parses");
+    let base_report = evaluate(&net, &baseline, &hw).expect("double-buffer never deadlocks");
+    println!("unfused double-buffer baseline:");
+    println!("  latency       {} cycles", base_report.latency_cycles);
+    println!("  energy        {:.3} mJ", base_report.energy.total_pj() / 1e9);
+    println!("  compute util  {:.1}%", 100.0 * base_report.compute_util);
+    println!("  DRAM traffic  {:.2} MB\n", base_report.dram_bytes as f64 / (1 << 20) as f64);
+
+    // Full SoMa exploration (buffer allocator + two SA stages).
+    let cfg = SearchConfig { effort: 0.5, seed: 42, ..SearchConfig::default() };
+    let outcome = soma::search::schedule(&net, &hw, &cfg);
+    println!("SoMa stage 1 (layer fusion, double-buffer):");
+    println!("  latency       {} cycles", outcome.stage1.report.latency_cycles);
+    println!("  energy        {:.3} mJ", outcome.stage1.report.energy.total_pj() / 1e9);
+    println!("SoMa stage 2 (prefetch & delayed store):");
+    println!("  latency       {} cycles", outcome.best.report.latency_cycles);
+    println!("  energy        {:.3} mJ", outcome.best.report.energy.total_pj() / 1e9);
+    println!("  compute util  {:.1}% (theoretical max {:.1}%)", 100.0 * outcome.best.report.compute_util, 100.0 * outcome.best.report.theoretical_max_util);
+    println!(
+        "  speedup over baseline: {:.2}x\n",
+        base_report.latency_cycles as f64 / outcome.best.report.latency_cycles as f64
+    );
+
+    // Execution graph of the final scheme (paper Fig. 8 style).
+    let sched = ParsedSchedule::new(&net, &outcome.best.encoding).expect("best scheme parses");
+    println!("{}", render_gantt(&net, &sched, &outcome.best.report.timeline, 100));
+}

@@ -1,0 +1,41 @@
+//! # SoMa
+//!
+//! A from-scratch Rust reproduction of **"SoMa: Identifying, Exploring, and
+//! Understanding the DRAM Communication Scheduling Space for DNN
+//! Accelerators"** (HPCA 2025).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`model`] — DNN workload graphs and the model zoo.
+//! * [`arch`] — accelerator hardware configuration and energy model.
+//! * [`core`] — the tensor-centric notation and its parser.
+//! * [`sim`] — the evaluator (timeline simulator + core-array model).
+//! * [`search`] — the two-stage SA framework, buffer allocator and the
+//!   Cocco baseline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use soma::prelude::*;
+//!
+//! let net = soma::model::zoo::fig2(1);
+//! let hw = HardwareConfig::edge();
+//! let cfg = SearchConfig { effort: 0.05, seed: 7, ..SearchConfig::default() };
+//! let outcome = soma::search::schedule(&net, &hw, &cfg);
+//! assert!(outcome.best.report.latency_cycles > 0);
+//! ```
+
+pub use soma_arch as arch;
+pub use soma_core as core;
+pub use soma_model as model;
+pub use soma_search as search;
+pub use soma_sim as sim;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use soma_arch::{EnergyModel, HardwareConfig};
+    pub use soma_core::{Encoding, ParsedSchedule};
+    pub use soma_model::{FmapShape, LayerId, Network, NetworkBuilder};
+    pub use soma_search::{schedule, CostWeights, SearchConfig, SearchOutcome};
+    pub use soma_sim::{evaluate, EvalReport};
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: model -> notation -> evaluator ->
+//! search, exercising the public API exactly as a downstream user would.
+
+use soma::core::{parse_lfa, Dlsa, Encoding, Lfa, ParsedSchedule};
+use soma::model::zoo;
+use soma::prelude::*;
+use soma::search::schedule_cocco;
+
+fn quick(seed: u64) -> SearchConfig {
+    SearchConfig { effort: 0.05, seed, ..SearchConfig::default() }
+}
+
+#[test]
+fn full_pipeline_on_fig2() {
+    let net = zoo::fig2(1);
+    let hw = HardwareConfig::edge();
+    let out = soma::search::schedule(&net, &hw, &quick(1));
+    // Best scheme parses, re-evaluates to identical numbers, and lowers.
+    let sched = ParsedSchedule::new(&net, &out.best.encoding).unwrap();
+    let report = evaluate(&net, &sched, &hw).unwrap();
+    assert_eq!(report.latency_cycles, out.best.report.latency_cycles);
+    let prog = soma::core::lower(&sched);
+    assert_eq!(prog.compute_queue.len(), sched.plan.tiles.len());
+}
+
+#[test]
+fn soma_stage2_improves_or_matches_stage1_on_resnet_slice() {
+    // A realistic CNN slice: the first eight layers of ResNet-50.
+    let net = zoo::chain(1, 64, 56, 8);
+    let hw = HardwareConfig::edge();
+    let out = soma::search::schedule(&net, &hw, &quick(3));
+    assert!(out.best.cost <= out.stage1.cost);
+    assert!(out.best.report.peak_buffer <= hw.buffer_bytes);
+}
+
+#[test]
+fn soma_beats_unfused_baseline_on_fused_friendly_net() {
+    let net = zoo::chain(1, 32, 56, 6);
+    let hw = HardwareConfig::edge();
+    let baseline = ParsedSchedule::new(
+        &net,
+        &Encoding::from_lfa(Lfa::unfused(&net, 4)),
+    )
+    .unwrap();
+    let base = evaluate(&net, &baseline, &hw).unwrap();
+    let out = soma::search::schedule(&net, &hw, &quick(5));
+    assert!(
+        out.best.report.latency_cycles <= base.latency_cycles,
+        "SoMa {} vs baseline {}",
+        out.best.report.latency_cycles,
+        base.latency_cycles
+    );
+    assert!(out.best.report.energy.total_pj() <= base.energy.total_pj());
+}
+
+#[test]
+fn cocco_and_soma_run_on_every_edge_workload() {
+    let hw = HardwareConfig::edge();
+    for net in zoo::edge_suite(1) {
+        let cfg = SearchConfig { effort: 0.005, seed: 11, ..SearchConfig::default() };
+        let cocco = schedule_cocco(&net, &hw, &cfg);
+        let out = soma::search::schedule(&net, &hw, &cfg);
+        assert!(cocco.report.latency_cycles > 0, "{}", net.name());
+        assert!(out.best.report.latency_cycles > 0, "{}", net.name());
+        assert!(out.best.report.compute_util <= 1.0 + 1e-9, "{}", net.name());
+    }
+}
+
+#[test]
+fn decode_utilisation_is_tiny_and_prefill_is_not() {
+    let hw = HardwareConfig::edge();
+    let cfg = quick(13);
+    let prefill = soma::search::schedule(&zoo::gpt2_small_prefill(1, 128), &hw, &cfg);
+    let decode = soma::search::schedule(&zoo::gpt2_small_decode(1, 128), &hw, &cfg);
+    assert!(
+        decode.best.report.compute_util < 0.05,
+        "decode util {}",
+        decode.best.report.compute_util
+    );
+    assert!(prefill.best.report.compute_util > decode.best.report.compute_util * 3.0);
+}
+
+#[test]
+fn theoretical_bound_dominates_all_schemes() {
+    let net = zoo::fig4(1);
+    let hw = HardwareConfig::edge();
+    let out = soma::search::schedule(&net, &hw, &quick(17));
+    for eval in [&out.stage1, &out.best] {
+        assert!(eval.report.compute_util <= eval.report.theoretical_max_util + 1e-9);
+    }
+}
+
+#[test]
+fn bigger_buffer_never_hurts_soma() {
+    let net = zoo::chain(1, 48, 28, 6);
+    let small = HardwareConfig::builder().like(&HardwareConfig::edge()).buffer_mib(1).build();
+    let large = HardwareConfig::builder().like(&HardwareConfig::edge()).buffer_mib(32).build();
+    let a = soma::search::schedule(&net, &small, &quick(19));
+    let b = soma::search::schedule(&net, &large, &quick(19));
+    // Not strictly monotone per-seed (stochastic search), allow 10% slack.
+    assert!(
+        b.best.report.latency_cycles as f64 <= a.best.report.latency_cycles as f64 * 1.10,
+        "32MB {} vs 1MB {}",
+        b.best.report.latency_cycles,
+        a.best.report.latency_cycles
+    );
+}
+
+#[test]
+fn fig4_paper_encoding_round_trip() {
+    let net = zoo::fig4(1);
+    let mut lfa = Lfa::fully_fused(&net, 2);
+    lfa.flc = [1, 2].into_iter().collect();
+    lfa.dram_cuts = [2].into_iter().collect();
+    lfa.tiling = vec![2, 1, 2];
+    let plan = parse_lfa(&net, &lfa).unwrap();
+    let dlsa = Dlsa::double_buffer(&plan);
+    let hw = HardwareConfig::edge();
+    let sched = ParsedSchedule { plan, dlsa };
+    let report = evaluate(&net, &sched, &hw).unwrap();
+    assert!(report.latency_cycles > 0);
+    assert!(report.dram_util > 0.0);
+}
