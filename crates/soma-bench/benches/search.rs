@@ -29,9 +29,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let hw = HardwareConfig::edge();
     let cfg = SearchConfig { effort: 0.05, seed: 5, ..SearchConfig::default() };
     c.bench_function("schedule/soma_fig4_quick", |b| b.iter(|| schedule(&net, &hw, &cfg)));
-    c.bench_function("schedule/cocco_fig4_quick", |b| {
-        b.iter(|| schedule_cocco(&net, &hw, &cfg))
-    });
+    c.bench_function("schedule/cocco_fig4_quick", |b| b.iter(|| schedule_cocco(&net, &hw, &cfg)));
 }
 
 criterion_group! {

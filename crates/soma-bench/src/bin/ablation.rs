@@ -29,11 +29,8 @@ fn main() {
 
             let cocco = schedule_cocco(&net, &hw, &base);
             let full = schedule(&net, &hw, &base);
-            let no_alloc = schedule(
-                &net,
-                &hw,
-                &SearchConfig { max_allocator_iters: 1, ..base.clone() },
-            );
+            let no_alloc =
+                schedule(&net, &hw, &SearchConfig { max_allocator_iters: 1, ..base.clone() });
             let linked = schedule(&net, &hw, &SearchConfig { link_cuts: true, ..base.clone() });
 
             let rows: Vec<(&str, u64, f64, f64)> = vec![
@@ -56,7 +53,12 @@ fn main() {
                     linked.best.report.energy.total_pj(),
                     linked.best.cost,
                 ),
-                ("full", full.best.report.latency_cycles, full.best.report.energy.total_pj(), full.best.cost),
+                (
+                    "full",
+                    full.best.report.latency_cycles,
+                    full.best.report.energy.total_pj(),
+                    full.best.cost,
+                ),
             ];
             for (variant, lat, e, c) in &rows {
                 println!("{name},{batch},{variant},{lat},{e:.1},{c:.6e}");

@@ -19,7 +19,8 @@ fn main() {
     let hw = HardwareConfig::edge();
     println!("panel,workload,item,dram_norm,ops_norm");
 
-    let nets = [("resnet50", zoo::resnet50(1)), ("transformer-large", zoo::transformer_large(1, 512))];
+    let nets =
+        [("resnet50", zoo::resnet50(1)), ("transformer-large", zoo::transformer_large(1, 512))];
     for (idx, (name, net)) in nets.iter().enumerate() {
         // Panels (a)/(b): per-layer.
         let stats = layer_stats(net);
@@ -28,8 +29,7 @@ fn main() {
         for (i, p) in norm.iter().enumerate() {
             println!("layer,{name},{i},{:.6},{:.6}", p.dram, p.ops);
         }
-        let layer_spread =
-            std_dev(&norm.iter().map(|p| p.dram).collect::<Vec<_>>());
+        let layer_spread = std_dev(&norm.iter().map(|p| p.dram).collect::<Vec<_>>());
 
         // Panels (c)/(d): per-tile under the Cocco schedule.
         let cfg = config_for(net, salt(&["fig3", name]));
@@ -40,12 +40,8 @@ fn main() {
         for t in &plan.dram_tensors {
             tile_dram[t.anchor as usize] += t.bytes;
         }
-        let tile_pts: Vec<(u64, u64)> = plan
-            .tiles
-            .iter()
-            .zip(&tile_dram)
-            .map(|(t, &d)| (d, t.ops))
-            .collect();
+        let tile_pts: Vec<(u64, u64)> =
+            plan.tiles.iter().zip(&tile_dram).map(|(t, &d)| (d, t.ops)).collect();
         let tnorm = normalize(&tile_pts);
         for (i, p) in tnorm.iter().enumerate() {
             println!("tile,{name},{i},{:.6},{:.6}", p.dram, p.ops);

@@ -60,8 +60,9 @@ fn main() {
         }
     }
 
-    let threads = env_u64("SOMA_THREADS", std::thread::available_parallelism().map_or(4, |n| n.get() as u64))
-        as usize;
+    let threads =
+        env_u64("SOMA_THREADS", std::thread::available_parallelism().map_or(4, |n| n.get() as u64))
+            as usize;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out = Mutex::new(());
 
@@ -78,11 +79,9 @@ fn main() {
                 let cocco = schedule_cocco(&cell.net, &cell.platform, &cfg);
                 let soma = schedule(&cell.net, &cell.platform, &cfg);
                 let mut rows = String::new();
-                for (scheme, e) in [
-                    ("cocco", &cocco),
-                    ("ours_1", &soma.stage1),
-                    ("ours_2", &soma.best),
-                ] {
+                for (scheme, e) in
+                    [("cocco", &cocco), ("ours_1", &soma.stage1), ("ours_2", &soma.best)]
+                {
                     rows.push_str(&row(&cell.platform.name, &cell.net, cell.batch, scheme, e));
                     rows.push('\n');
                 }
@@ -95,8 +94,9 @@ fn main() {
                     cell.batch,
                     cocco.report.latency_cycles as f64 / soma.best.report.latency_cycles as f64,
                     cocco.report.latency_cycles as f64 / soma.stage1.report.latency_cycles as f64,
-                    100.0 * (1.0
-                        - soma.best.report.energy.total_pj() / cocco.report.energy.total_pj())
+                    100.0
+                        * (1.0
+                            - soma.best.report.energy.total_pj() / cocco.report.energy.total_pj())
                 );
             });
         }

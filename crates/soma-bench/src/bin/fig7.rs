@@ -54,10 +54,9 @@ fn main() {
         }
     }
 
-    let threads = env_u64(
-        "SOMA_THREADS",
-        std::thread::available_parallelism().map_or(4, |n| n.get() as u64),
-    ) as usize;
+    let threads =
+        env_u64("SOMA_THREADS", std::thread::available_parallelism().map_or(4, |n| n.get() as u64))
+            as usize;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out = Mutex::new(());
 
@@ -101,10 +100,7 @@ fn main() {
                 }
                 let _guard = out.lock().expect("stdout lock");
                 print!("{rows}");
-                eprintln!(
-                    "[fig7] {name} b{} {}MB {}GB/s done",
-                    cell.batch, cell.mib, cell.gbps
-                );
+                eprintln!("[fig7] {name} b{} {}MB {}GB/s done", cell.batch, cell.mib, cell.gbps);
             });
         }
     });

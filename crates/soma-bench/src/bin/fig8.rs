@@ -18,7 +18,13 @@ fn describe(net: &soma_model::Network, eval: &Evaluated) {
     let ranges = lfa.flg_ranges();
     print!("FLGs: ");
     for (g, &(a, b)) in ranges.iter().enumerate() {
-        let cut = if g > 0 && lfa.dram_cuts.contains(&a) { "||" } else if g > 0 { "|" } else { "" };
+        let cut = if g > 0 && lfa.dram_cuts.contains(&a) {
+            "||"
+        } else if g > 0 {
+            "|"
+        } else {
+            ""
+        };
         print!("{cut}[T={}:", lfa.tiling[g]);
         for p in a..b {
             print!(" {}", net.layer(lfa.order[p]).name);
@@ -41,11 +47,9 @@ fn main() {
     let cocco = schedule_cocco(&net, &hw, &cfg);
     let soma = schedule(&net, &hw, &cfg);
 
-    for (title, eval) in [
-        ("Cocco", &cocco),
-        ("SoMa first stage", &soma.stage1),
-        ("SoMa second stage", &soma.best),
-    ] {
+    for (title, eval) in
+        [("Cocco", &cocco), ("SoMa first stage", &soma.stage1), ("SoMa second stage", &soma.best)]
+    {
         println!("==== {title} ====");
         describe(&net, eval);
         let sched = ParsedSchedule::new(&net, &eval.encoding).expect("scheme parses");

@@ -80,10 +80,7 @@ impl Dlsa {
                 }
             } else {
                 // Start fixed at the producer; End in (anchor, n_tiles].
-                if self.start[i] != t.anchor
-                    || self.end[i] <= t.anchor
-                    || self.end[i] > n_tiles
-                {
+                if self.start[i] != t.anchor || self.end[i] <= t.anchor || self.end[i] > n_tiles {
                     return Err(ParseError::BadLivingDuration { tensor: i });
                 }
             }
@@ -138,10 +135,7 @@ mod tests {
         let mut d = Dlsa::double_buffer(&p);
         let load = p.dram_tensors.iter().position(|t| t.is_load).unwrap();
         d.start[load] = p.dram_tensors[load].anchor + 1;
-        assert!(matches!(
-            d.validate(&p),
-            Err(ParseError::BadLivingDuration { .. })
-        ));
+        assert!(matches!(d.validate(&p), Err(ParseError::BadLivingDuration { .. })));
     }
 
     #[test]
@@ -150,9 +144,6 @@ mod tests {
         let mut d = Dlsa::double_buffer(&p);
         let st = p.dram_tensors.iter().position(|t| !t.is_load).unwrap();
         d.end[st] = p.dram_tensors[st].anchor;
-        assert!(matches!(
-            d.validate(&p),
-            Err(ParseError::BadLivingDuration { .. })
-        ));
+        assert!(matches!(d.validate(&p), Err(ParseError::BadLivingDuration { .. })));
     }
 }

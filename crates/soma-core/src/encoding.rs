@@ -33,12 +33,7 @@ impl Lfa {
         let n = net.len();
         let order: Vec<LayerId> = (0..n as u32).map(LayerId).collect();
         let cuts: BTreeSet<usize> = (1..n).collect();
-        Self {
-            order,
-            flc: cuts.clone(),
-            tiling: vec![tiling; n],
-            dram_cuts: cuts,
-        }
+        Self { order, flc: cuts.clone(), tiling: vec![tiling; n], dram_cuts: cuts }
     }
 
     /// A single fully-fused group covering the whole network (useful in

@@ -49,10 +49,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadTilingNumber { flg, tiling } => {
                 write!(f, "FLG {flg} has invalid tiling number {tiling}")
             }
-            ParseError::FullInputInsideFlg { consumer } => write!(
-                f,
-                "layer {consumer} needs a full input but shares an FLG with its producer"
-            ),
+            ParseError::FullInputInsideFlg { consumer } => {
+                write!(f, "layer {consumer} needs a full input but shares an FLG with its producer")
+            }
             ParseError::DlsaNotPermutation => {
                 write!(f, "DLSA order is not a permutation of the DRAM tensors")
             }

@@ -79,9 +79,10 @@ impl Program {
         for instr in &self.dram_queue {
             match instr {
                 Instr::Load { tensor, bytes, kind, after_tile } => {
-                    let gate = after_tile
-                        .map_or_else(|| "-".to_string(), |t| format!("tile{t}"));
-                    out.push_str(&format!("load  t{tensor:<5} {bytes:>10}B after {gate:<8} ; {kind:?}\n"));
+                    let gate = after_tile.map_or_else(|| "-".to_string(), |t| format!("tile{t}"));
+                    out.push_str(&format!(
+                        "load  t{tensor:<5} {bytes:>10}B after {gate:<8} ; {kind:?}\n"
+                    ));
                 }
                 Instr::Store { tensor, bytes, kind, after_tile } => {
                     out.push_str(&format!(

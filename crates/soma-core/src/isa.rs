@@ -187,12 +187,7 @@ pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
                 let tensor = r.u32()?;
                 let bytes = r.u64()?;
                 let gate = r.u32()?;
-                Instr::Load {
-                    tensor,
-                    bytes,
-                    kind,
-                    after_tile: (gate != NO_GATE).then_some(gate),
-                }
+                Instr::Load { tensor, bytes, kind, after_tile: (gate != NO_GATE).then_some(gate) }
             }
             1 => {
                 let kind = r.kind()?;

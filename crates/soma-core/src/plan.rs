@@ -214,9 +214,7 @@ pub fn parse_lfa(net: &Network, lfa: &Lfa) -> Result<ComputePlan, ParseError> {
     for (cid, layer) in net.iter() {
         for (idx, &src) in layer.inputs.iter().enumerate() {
             if let Src::Layer(pid) = src {
-                if layer.kind.needs_full_input(idx)
-                    && flg_of[pid.index()] == flg_of[cid.index()]
-                {
+                if layer.kind.needs_full_input(idx) && flg_of[pid.index()] == flg_of[cid.index()] {
                     return Err(ParseError::FullInputInsideFlg { consumer: cid });
                 }
             }
@@ -285,11 +283,7 @@ pub fn parse_lfa(net: &Network, lfa: &Lfa) -> Result<ComputePlan, ParseError> {
     for (id, layer) in net.iter() {
         let g = flg_of[id.index()] as usize;
         let layout = &flgs[g];
-        let j = layout
-            .layers
-            .iter()
-            .position(|&l| l == id)
-            .expect("layer belongs to its FLG");
+        let j = layout.layers.iter().position(|&l| l == id).expect("layer belongs to its FLG");
         let crossing_inputs = layer
             .inputs
             .iter()
@@ -300,8 +294,7 @@ pub fn parse_lfa(net: &Network, lfa: &Lfa) -> Result<ComputePlan, ParseError> {
             })
             .map(|(idx, _)| (idx as u32, layout.input_tile_bytes(net, j, idx, false)))
             .collect();
-        let stores =
-            net.is_output(id) || net.consumers(id).iter().any(|&c| lg_of(c) != lg_of(id));
+        let stores = net.is_output(id) || net.consumers(id).iter().any(|&c| lg_of(c) != lg_of(id));
         per_layer.push(LayerDram { crossing_inputs, stores });
     }
     let mut dram_tensors = Vec::new();
@@ -345,18 +338,12 @@ pub fn parse_lfa(net: &Network, lfa: &Lfa) -> Result<ComputePlan, ParseError> {
     // On-chip residency, from the producer side.
     let mut onchip = Vec::new();
     for (pid, _) in net.iter() {
-        let same_lg: Vec<LayerId> = net
-            .consumers(pid)
-            .iter()
-            .copied()
-            .filter(|&c| lg_of(c) == lg_of(pid))
-            .collect();
+        let same_lg: Vec<LayerId> =
+            net.consumers(pid).iter().copied().filter(|&c| lg_of(c) == lg_of(pid)).collect();
         if same_lg.is_empty() {
             continue;
         }
-        let all_same_flg = same_lg
-            .iter()
-            .all(|&c| flg_of[c.index()] == flg_of[pid.index()]);
+        let all_same_flg = same_lg.iter().all(|&c| flg_of[c.index()] == flg_of[pid.index()]);
         let p_positions = &tile_pos[pid.index()];
         if all_same_flg {
             // Tile-wise hand-off within the FLG (Fig. 2 style).
@@ -404,23 +391,14 @@ mod tests {
         assert_eq!(plan.n_lgs(), 3);
         // Every layer loads weights once, every tile loads ifmap and
         // stores ofmap (all boundaries are DRAM cuts).
-        let weights = plan
-            .dram_tensors
-            .iter()
-            .filter(|t| matches!(t.kind, DramKind::Weight(_)))
-            .count();
+        let weights =
+            plan.dram_tensors.iter().filter(|t| matches!(t.kind, DramKind::Weight(_))).count();
         assert_eq!(weights, 3);
-        let ifmaps = plan
-            .dram_tensors
-            .iter()
-            .filter(|t| matches!(t.kind, DramKind::Ifmap { .. }))
-            .count();
+        let ifmaps =
+            plan.dram_tensors.iter().filter(|t| matches!(t.kind, DramKind::Ifmap { .. })).count();
         assert_eq!(ifmaps, 12);
-        let ofmaps = plan
-            .dram_tensors
-            .iter()
-            .filter(|t| matches!(t.kind, DramKind::Ofmap { .. }))
-            .count();
+        let ofmaps =
+            plan.dram_tensors.iter().filter(|t| matches!(t.kind, DramKind::Ofmap { .. })).count();
         assert_eq!(ofmaps, 12);
         assert!(plan.onchip.is_empty());
     }
@@ -434,11 +412,8 @@ mod tests {
         // Intermediate fmaps stay on chip: 2 producers x 4 tiles.
         assert_eq!(fused.onchip.len(), 8);
         // Only the network input is loaded as fmaps; output stored.
-        let ifmaps = fused
-            .dram_tensors
-            .iter()
-            .filter(|t| matches!(t.kind, DramKind::Ifmap { .. }))
-            .count();
+        let ifmaps =
+            fused.dram_tensors.iter().filter(|t| matches!(t.kind, DramKind::Ifmap { .. })).count();
         assert_eq!(ifmaps, 4);
     }
 
@@ -446,11 +421,7 @@ mod tests {
     fn interleaved_tile_order_within_flg() {
         let net = zoo::fig2(1);
         let plan = parse_lfa(&net, &Lfa::fully_fused(&net, 2)).unwrap();
-        let seq: Vec<(u32, u32)> = plan
-            .tiles
-            .iter()
-            .map(|t| (t.layer.0, t.tile_idx))
-            .collect();
+        let seq: Vec<(u32, u32)> = plan.tiles.iter().map(|t| (t.layer.0, t.tile_idx)).collect();
         assert_eq!(seq, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
     }
 
@@ -467,10 +438,7 @@ mod tests {
         let net = zoo::fig2(1);
         let mut lfa = Lfa::unfused(&net, 1);
         lfa.order.swap(0, 1);
-        assert!(matches!(
-            parse_lfa(&net, &lfa),
-            Err(ParseError::OrderNotTopological { .. })
-        ));
+        assert!(matches!(parse_lfa(&net, &lfa), Err(ParseError::OrderNotTopological { .. })));
     }
 
     #[test]
@@ -478,10 +446,7 @@ mod tests {
         let net = zoo::fig2(1);
         let mut lfa = Lfa::unfused(&net, 1);
         lfa.tiling[0] = 3;
-        assert!(matches!(
-            parse_lfa(&net, &lfa),
-            Err(ParseError::BadTilingNumber { .. })
-        ));
+        assert!(matches!(parse_lfa(&net, &lfa), Err(ParseError::BadTilingNumber { .. })));
     }
 
     #[test]
@@ -489,10 +454,7 @@ mod tests {
         let net = zoo::fig2(1);
         let mut lfa = Lfa::fully_fused(&net, 2);
         lfa.dram_cuts.insert(1);
-        assert!(matches!(
-            parse_lfa(&net, &lfa),
-            Err(ParseError::DramCutNotFlc { pos: 1 })
-        ));
+        assert!(matches!(parse_lfa(&net, &lfa), Err(ParseError::DramCutNotFlc { pos: 1 })));
     }
 
     #[test]
@@ -500,10 +462,7 @@ mod tests {
         // fig4's pooling is fine, but a matmul workload triggers the rule.
         let net = zoo::transformer_large(1, 64);
         let lfa = Lfa::fully_fused(&net, 1);
-        assert!(matches!(
-            parse_lfa(&net, &lfa),
-            Err(ParseError::FullInputInsideFlg { .. })
-        ));
+        assert!(matches!(parse_lfa(&net, &lfa), Err(ParseError::FullInputInsideFlg { .. })));
     }
 
     #[test]
@@ -541,9 +500,6 @@ mod tests {
             .count();
         assert_eq!(c_loads, 2);
         // A -> B crosses only an FLC: kept on chip, full-fmap interval.
-        assert!(plan
-            .onchip
-            .iter()
-            .any(|iv| iv.bytes == net.ofmap_bytes(soma_model::LayerId(0))));
+        assert!(plan.onchip.iter().any(|iv| iv.bytes == net.ofmap_bytes(soma_model::LayerId(0))));
     }
 }

@@ -133,14 +133,12 @@ pub fn read_scheme(net: &Network, text: &str) -> Result<Encoding, SchemeError> {
                 }
             }
             "order" => {
-                order = Some(
-                    parse_nums(rest, line)?.into_iter().map(|x| LayerId(x as u32)).collect(),
-                )
+                order =
+                    Some(parse_nums(rest, line)?.into_iter().map(|x| LayerId(x as u32)).collect())
             }
             "flc" => flc = Some(parse_nums(rest, line)?.into_iter().map(|x| x as usize).collect()),
             "dram_cuts" => {
-                dram_cuts =
-                    Some(parse_nums(rest, line)?.into_iter().map(|x| x as usize).collect())
+                dram_cuts = Some(parse_nums(rest, line)?.into_iter().map(|x| x as usize).collect())
             }
             "tiling" => {
                 tiling = Some(parse_nums(rest, line)?.into_iter().map(|x| x as u32).collect())
@@ -214,10 +212,7 @@ mod tests {
         let (net, enc) = sample();
         let text = write_scheme(&net, &enc);
         let other = zoo::fig2(1);
-        assert!(matches!(
-            read_scheme(&other, &text),
-            Err(SchemeError::NetworkMismatch { .. })
-        ));
+        assert!(matches!(read_scheme(&other, &text), Err(SchemeError::NetworkMismatch { .. })));
     }
 
     #[test]

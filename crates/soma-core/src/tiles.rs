@@ -172,7 +172,10 @@ impl FlgLayout {
         let shape = &self.shapes[layer_idx];
         let prec = u64::from(net.precision());
         if full || l.kind.needs_full_input(input_idx) {
-            return u64::from(shape.n) * u64::from(src.c) * u64::from(src.h) * u64::from(src.w)
+            return u64::from(shape.n)
+                * u64::from(src.c)
+                * u64::from(src.h)
+                * u64::from(src.w)
                 * prec;
         }
         let (kh, sh) = l.kind.spatial_h();

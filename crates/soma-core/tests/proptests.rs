@@ -2,7 +2,9 @@
 //! scheme round-trips and binary program round-trips.
 
 use proptest::prelude::*;
-use soma_core::{isa, lower, parse_lfa, read_scheme, write_scheme, Encoding, Lfa, ParsedSchedule, TileGrid};
+use soma_core::{
+    isa, lower, parse_lfa, read_scheme, write_scheme, Encoding, Lfa, ParsedSchedule, TileGrid,
+};
 use soma_model::zoo;
 
 proptest! {

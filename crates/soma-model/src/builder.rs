@@ -102,7 +102,14 @@ impl NetworkBuilder {
     }
 
     /// Adds a square-kernel convolution with same padding.
-    pub fn conv(&mut self, name: impl Into<String>, inputs: &[Src], cout: u32, k: u32, stride: u32) -> Src {
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[Src],
+        cout: u32,
+        k: u32,
+        stride: u32,
+    ) -> Src {
         self.conv_rect(name, inputs, cout, k, k, stride)
     }
 
@@ -120,8 +127,11 @@ impl NetworkBuilder {
         let in0 = self.src_shape(inputs[0]);
         let cin: u32 = inputs.iter().map(|&s| self.src_shape(s).c).sum();
         let ofmap = FmapShape::new(in0.n, cout, ceil_div(in0.h, stride), ceil_div(in0.w, stride));
-        let weight_bytes =
-            u64::from(kh) * u64::from(kw) * u64::from(cin) * u64::from(cout) * u64::from(self.precision);
+        let weight_bytes = u64::from(kh)
+            * u64::from(kw)
+            * u64::from(cin)
+            * u64::from(cout)
+            * u64::from(self.precision);
         self.push(Layer {
             name: name.into(),
             kind: LayerKind::Conv { kh, kw, stride },

@@ -107,10 +107,7 @@ impl Network {
 
     /// Iterator over `(LayerId, &Layer)` in topological order.
     pub fn iter(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
-        self.layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (LayerId(i as u32), l))
+        self.layers.iter().enumerate().map(|(i, l)| (LayerId(i as u32), l))
     }
 
     /// Shapes of the network external inputs.
@@ -138,11 +135,7 @@ impl Network {
 
     /// Total input channels of a layer (multi-input layers concatenate).
     pub fn in_channels(&self, id: LayerId) -> u64 {
-        self.layers[id.index()]
-            .inputs
-            .iter()
-            .map(|&s| u64::from(self.src_shape(s).c))
-            .sum()
+        self.layers[id.index()].inputs.iter().map(|&s| u64::from(self.src_shape(s).c)).sum()
     }
 
     /// Operation count of a layer (multiply-accumulate counted as 2 ops,
@@ -178,9 +171,7 @@ impl Network {
 
     /// Total operations in the network.
     pub fn total_ops(&self) -> u64 {
-        (0..self.layers.len())
-            .map(|i| self.layer_ops(LayerId(i as u32)))
-            .sum()
+        (0..self.layers.len()).map(|i| self.layer_ops(LayerId(i as u32))).sum()
     }
 
     /// Total weight bytes in the network.
@@ -311,10 +302,7 @@ mod tests {
     fn validate_rejects_forward_reference() {
         let mut n = tiny();
         n.layers[0].inputs = vec![Src::Layer(LayerId(2))];
-        assert!(matches!(
-            n.validate(),
-            Err(NetworkError::ForwardReference { .. })
-        ));
+        assert!(matches!(n.validate(), Err(NetworkError::ForwardReference { .. })));
     }
 
     #[test]

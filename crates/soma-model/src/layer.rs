@@ -135,7 +135,10 @@ impl LayerKind {
     pub fn is_gemm(&self) -> bool {
         matches!(
             self,
-            LayerKind::Conv { .. } | LayerKind::DwConv { .. } | LayerKind::Linear | LayerKind::Matmul
+            LayerKind::Conv { .. }
+                | LayerKind::DwConv { .. }
+                | LayerKind::Linear
+                | LayerKind::Matmul
         )
     }
 

@@ -60,7 +60,15 @@ fn prefill_block(b: &mut NetworkBuilder, x: Src, d: u32, seq: u32, tag: &str) ->
 /// One decode transformer block for a single new token with `past` cached
 /// tokens; K/V caches are DRAM operands of the matmuls, and the new K/V
 /// vectors are network outputs.
-fn decode_block(b: &mut NetworkBuilder, x: Src, d: u32, past: u32, batch: u32, prec: u32, tag: &str) -> Src {
+fn decode_block(
+    b: &mut NetworkBuilder,
+    x: Src,
+    d: u32,
+    past: u32,
+    batch: u32,
+    prec: u32,
+    tag: &str,
+) -> Src {
     let kv_cache_bytes = u64::from(batch) * u64::from(past) * u64::from(d) * u64::from(prec);
     let ln1 = b.vector(format!("{tag}.ln1"), VecOp::LayerNorm, x);
     let q = b.linear(format!("{tag}.q"), &[ln1], d);
@@ -189,10 +197,7 @@ mod tests {
     #[test]
     fn decode_marks_kv_outputs() {
         let net = gpt2_small_decode(1, 16);
-        let n_outputs = net
-            .iter()
-            .filter(|&(id, _)| net.is_output(id))
-            .count();
+        let n_outputs = net.iter().filter(|&(id, _)| net.is_output(id)).count();
         // 2 per block (k, v) + final residual.
         assert_eq!(n_outputs, 12 * 2 + 1);
     }

@@ -121,11 +121,7 @@ mod tests {
     fn has_wide_fanout() {
         let net = inception_resnet_v1(1);
         // Some layer must feed at least 3 consumers (inception branching).
-        let max_fanout = net
-            .iter()
-            .map(|(id, _)| net.consumers(id).len())
-            .max()
-            .unwrap();
+        let max_fanout = net.iter().map(|(id, _)| net.consumers(id).len()).max().unwrap();
         assert!(max_fanout >= 3, "max fanout {max_fanout}");
     }
 }

@@ -55,7 +55,8 @@ pub fn mobilenet_v2(batch: u32) -> Network {
     for (si, &(t, cout, reps, stride)) in settings.iter().enumerate() {
         for r in 0..reps {
             let s = if r == 0 { stride } else { 1 };
-            cur = inverted_residual(&mut b, cur, cin, cout, t, s, &format!("ir{}_{}", si + 1, r + 1));
+            cur =
+                inverted_residual(&mut b, cur, cin, cout, t, s, &format!("ir{}_{}", si + 1, r + 1));
             cin = cout;
         }
     }
@@ -76,11 +77,7 @@ mod tests {
         let net = mobilenet_v2(1);
         assert!(net.validate().is_ok());
         // 17 inverted residual blocks appear as 17 depthwise layers.
-        let dw = net
-            .layers()
-            .iter()
-            .filter(|l| matches!(l.kind, LayerKind::DwConv { .. }))
-            .count();
+        let dw = net.layers().iter().filter(|l| matches!(l.kind, LayerKind::DwConv { .. })).count();
         assert_eq!(dw, 17);
     }
 
@@ -97,10 +94,8 @@ mod tests {
     #[test]
     fn depthwise_has_per_channel_weights() {
         let net = mobilenet_v2(1);
-        let (id, dw) = net
-            .iter()
-            .find(|(_, l)| matches!(l.kind, LayerKind::DwConv { .. }))
-            .unwrap();
+        let (id, dw) =
+            net.iter().find(|(_, l)| matches!(l.kind, LayerKind::DwConv { .. })).unwrap();
         let cin = net.src_shape(dw.inputs[0]).c;
         assert_eq!(dw.weight_bytes, u64::from(cin) * 9);
         // Depthwise ops = 2 * elems * k^2 (no channel reduction).

@@ -36,15 +36,19 @@ fn ws_dag(n: usize, k: usize, p: f64, rng: &mut StdRng) -> Vec<Vec<usize>> {
 /// One RandWire stage: a WS DAG of conv nodes at fixed channel width.
 /// Nodes with several predecessors aggregate by element-wise addition
 /// before their conv (the paper's weighted-sum aggregation).
-fn stage(b: &mut NetworkBuilder, input: Src, channels: u32, nodes: usize, rng: &mut StdRng, tag: &str) -> Src {
+fn stage(
+    b: &mut NetworkBuilder,
+    input: Src,
+    channels: u32,
+    nodes: usize,
+    rng: &mut StdRng,
+    tag: &str,
+) -> Src {
     let preds = ws_dag(nodes, 4, 0.75, rng);
     let mut outs: Vec<Src> = Vec::with_capacity(nodes);
     for (i, pred) in preds.iter().enumerate() {
-        let srcs: Vec<Src> = if pred.is_empty() {
-            vec![input]
-        } else {
-            pred.iter().map(|&p| outs[p]).collect()
-        };
+        let srcs: Vec<Src> =
+            if pred.is_empty() { vec![input] } else { pred.iter().map(|&p| outs[p]).collect() };
         let agg = if srcs.len() >= 2 {
             b.eltwise(format!("{tag}.n{i}.agg"), EltOp::Add, &srcs)
         } else {
@@ -109,8 +113,7 @@ mod tests {
         let a = randwire(1, 1);
         let b = randwire(1, 2);
         // Layer count may differ (different aggregation nodes).
-        let same = a.len() == b.len()
-            && a.layers().iter().zip(b.layers()).all(|(x, y)| x == y);
+        let same = a.len() == b.len() && a.layers().iter().zip(b.layers()).all(|(x, y)| x == y);
         assert!(!same, "seeds 1 and 2 produced identical networks");
     }
 

@@ -19,11 +19,8 @@ fn bottleneck(
     let c1 = b.conv(format!("{tag}.conv1"), &[input], cmid, 1, 1);
     let c2 = b.conv(format!("{tag}.conv2"), &[c1], cmid, 3, stride);
     let c3 = b.conv(format!("{tag}.conv3"), &[c2], cout, 1, 1);
-    let shortcut = if project {
-        b.conv(format!("{tag}.proj"), &[input], cout, 1, stride)
-    } else {
-        input
-    };
+    let shortcut =
+        if project { b.conv(format!("{tag}.proj"), &[input], cout, 1, stride) } else { input };
     b.eltwise(format!("{tag}.add"), EltOp::Add, &[c3, shortcut])
 }
 

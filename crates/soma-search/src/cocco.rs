@@ -25,20 +25,13 @@ use crate::SearchConfig;
 /// requirement among its members, so every layer's tiles still fill the
 /// core array's parallel lanes.
 pub fn cocco_tiling(net: &Network, hw: &HardwareConfig, layers: &[LayerId]) -> u32 {
-    layers
-        .iter()
-        .map(|&id| min_granularity_tiling(net, hw, id))
-        .max()
-        .unwrap_or(1)
+    layers.iter().map(|&id| min_granularity_tiling(net, hw, id)).max().unwrap_or(1)
 }
 
 /// Recomputes every group's tiling number after a structural change.
 fn retile(net: &Network, hw: &HardwareConfig, lfa: &mut Lfa) {
     let ranges = lfa.flg_ranges();
-    lfa.tiling = ranges
-        .iter()
-        .map(|&(a, b)| cocco_tiling(net, hw, &lfa.order[a..b]))
-        .collect();
+    lfa.tiling = ranges.iter().map(|&(a, b)| cocco_tiling(net, hw, &lfa.order[a..b])).collect();
 }
 
 /// Cocco's initial solution: unfused, heuristic tiling.
@@ -120,9 +113,8 @@ pub fn schedule_cocco(net: &Network, hw: &HardwareConfig, cfg: &SearchConfig) ->
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let init = initial_cocco(net, hw);
-    let (init_cost, ..) = obj
-        .eval_lfa(&init, hw.buffer_bytes)
-        .expect("Cocco's unfused initial solution must parse");
+    let (init_cost, ..) =
+        obj.eval_lfa(&init, hw.buffer_bytes).expect("Cocco's unfused initial solution must parse");
 
     let iters = cfg.stage1_iters(net.len());
     let schedule = SaSchedule {
@@ -138,14 +130,9 @@ pub fn schedule_cocco(net: &Network, hw: &HardwareConfig, cfg: &SearchConfig) ->
         Some((cand, cost))
     });
 
-    let (cost, _, dlsa, report) = obj
-        .eval_lfa(&result.best, hw.buffer_bytes)
-        .expect("best Cocco solution must re-evaluate");
-    Evaluated {
-        encoding: Encoding { lfa: result.best, dlsa: Some(dlsa) },
-        report,
-        cost,
-    }
+    let (cost, _, dlsa, report) =
+        obj.eval_lfa(&result.best, hw.buffer_bytes).expect("best Cocco solution must re-evaluate");
+    Evaluated { encoding: Encoding { lfa: result.best, dlsa: Some(dlsa) }, report, cost }
 }
 
 #[cfg(test)]

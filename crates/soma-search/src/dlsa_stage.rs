@@ -121,9 +121,8 @@ pub fn run_stage2(
     buffer_limit: u64,
 ) -> Stage2Result {
     let picker = SizeWeightedPicker::new(plan);
-    let (init_cost, init_report) = obj
-        .eval_parts(plan, &init, buffer_limit)
-        .expect("double-buffer DLSA cannot deadlock");
+    let (init_cost, init_report) =
+        obj.eval_parts(plan, &init, buffer_limit).expect("double-buffer DLSA cannot deadlock");
 
     if picker.is_empty() {
         return Stage2Result { dlsa: init, report: init_report, cost: init_cost };

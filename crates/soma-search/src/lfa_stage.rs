@@ -40,11 +40,7 @@ fn prev_power_of_two(x: u32) -> u32 {
 /// minimum granularity.
 pub fn initial_lfa(net: &Network, hw: &HardwareConfig) -> Lfa {
     let mut lfa = Lfa::unfused(net, 1);
-    lfa.tiling = lfa
-        .order
-        .iter()
-        .map(|&id| min_granularity_tiling(net, hw, id))
-        .collect();
+    lfa.tiling = lfa.order.iter().map(|&id| min_granularity_tiling(net, hw, id)).collect();
     lfa
 }
 
@@ -213,9 +209,8 @@ pub fn run_stage1(
 ) -> Stage1Result {
     let net = obj.network();
     let init = initial_lfa(net, obj.hardware());
-    let (init_cost, ..) = obj
-        .eval_lfa(&init, buffer_limit)
-        .expect("the unfused initial solution must always parse");
+    let (init_cost, ..) =
+        obj.eval_lfa(&init, buffer_limit).expect("the unfused initial solution must always parse");
 
     let iters = cfg.stage1_iters(net.len());
     let schedule = SaSchedule {
@@ -231,9 +226,8 @@ pub fn run_stage1(
         Some((cand, cost))
     });
 
-    let (cost, plan, dlsa, report) = obj
-        .eval_lfa(&result.best, buffer_limit)
-        .expect("best stage-1 solution must re-evaluate");
+    let (cost, plan, dlsa, report) =
+        obj.eval_lfa(&result.best, buffer_limit).expect("best stage-1 solution must re-evaluate");
     Stage1Result { lfa: result.best, plan, dlsa, report, cost }
 }
 

@@ -99,17 +99,13 @@ impl SearchConfig {
     /// Stage-1 iteration count for a network with `layers` layers
     /// (`beta = 100` scaled by `effort`, capped by `stage1_cap`).
     pub fn stage1_iters(&self, layers: usize) -> u64 {
-        ((100.0 * layers as f64 * self.effort) as u64)
-            .max(40)
-            .min(self.stage1_cap)
+        ((100.0 * layers as f64 * self.effort) as u64).max(40).min(self.stage1_cap)
     }
 
     /// Stage-2 iteration count for a plan with `tensors` DRAM tensors
     /// (`beta = 1000` scaled by `effort`, capped by `stage2_cap`).
     pub fn stage2_iters(&self, tensors: usize) -> u64 {
-        ((1000.0 * tensors as f64 * self.effort) as u64)
-            .max(80)
-            .min(self.stage2_cap)
+        ((1000.0 * tensors as f64 * self.effort) as u64).max(80).min(self.stage2_cap)
     }
 
     /// The per-stage wall-clock budget as a `Duration`, if set.

@@ -143,7 +143,7 @@ mod tests {
         let cost = |x: i64| ((x - 17) * (x - 17) + 1) as f64;
         let mut rng = StdRng::seed_from_u64(7);
         let r = anneal(&sched(3000), &mut rng, 100i64, cost(100), |&x, rng| {
-            let step = rng.gen_range(-3..=3);
+            let step: i64 = rng.gen_range(-3..=3);
             let y = x + step;
             Some((y, cost(y)))
         });
@@ -176,7 +176,7 @@ mod tests {
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             anneal(&sched(500), &mut rng, 40i64, cost(40), |&x, rng| {
-                let y = x + rng.gen_range(-2..=2);
+                let y = x + rng.gen_range::<i64, _>(-2..=2);
                 Some((y, cost(y)))
             })
             .best

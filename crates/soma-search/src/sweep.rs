@@ -79,10 +79,13 @@ pub fn dse(
                     .build();
                 // Distinct seed per point so neighbouring cells explore
                 // independently (as the paper's per-configuration seeds do).
-                let cell_cfg = SearchConfig { seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37), ..cfg.clone() };
+                let cell_cfg = SearchConfig {
+                    seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37),
+                    ..cfg.clone()
+                };
                 let soma = schedule(net, &hw, &cell_cfg);
-                let cocco_latency = with_cocco
-                    .then(|| schedule_cocco(net, &hw, &cell_cfg).report.latency_cycles);
+                let cocco_latency =
+                    with_cocco.then(|| schedule_cocco(net, &hw, &cell_cfg).report.latency_cycles);
                 let record = DsePoint {
                     point,
                     soma_latency: soma.best.report.latency_cycles,
@@ -94,10 +97,7 @@ pub fn dse(
         }
     });
 
-    results
-        .into_iter()
-        .map(|r| r.expect("every grid point was processed"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every grid point was processed")).collect()
 }
 
 /// Finds the paper's "red envelope" (Fig. 7): the cheapest hardware
@@ -111,11 +111,7 @@ pub fn envelope(points: &[DsePoint], tolerance: f64) -> Vec<GridPoint> {
         return Vec::new();
     }
     let cut = best as f64 * (1.0 + tolerance);
-    points
-        .iter()
-        .filter(|p| (p.soma_latency as f64) <= cut)
-        .map(|p| p.point)
-        .collect()
+    points.iter().filter(|p| (p.soma_latency as f64) <= cut).map(|p| p.point).collect()
 }
 
 #[cfg(test)]

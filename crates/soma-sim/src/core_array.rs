@@ -84,8 +84,7 @@ impl<'hw> CoreArrayModel<'hw> {
         let eff_c = quantisation(u64::from(tile.shape.c), u64::from(hw.kc_parallel));
         let eff_s = quantisation(spatial, u64::from(hw.cores) * u64::from(hw.spatial_parallel));
         let eff = (eff_c * eff_s).max(1e-3);
-        let compute_cycles =
-            ((macs as f64) / (hw.macs_per_cycle as f64 * eff)).ceil() as u64;
+        let compute_cycles = ((macs as f64) / (hw.macs_per_cycle as f64 * eff)).ceil() as u64;
 
         // GBUF traffic under the best stationarity candidate.
         let w = tile.weight_bytes;
@@ -117,8 +116,8 @@ impl<'hw> CoreArrayModel<'hw> {
         let traffic = tile.in_bytes + tile.out_bytes;
         let gbuf_cycles = hw.gbuf_cycles(traffic);
         let cycles = compute_cycles.max(gbuf_cycles).max(1);
-        let energy_pj = tile.ops as f64 * hw.energy.vector_pj
-            + traffic as f64 * hw.energy.gbuf_pj_per_byte;
+        let energy_pj =
+            tile.ops as f64 * hw.energy.vector_pj + traffic as f64 * hw.energy.gbuf_pj_per_byte;
         TileCost { cycles, energy_pj, gbuf_bytes: traffic }
     }
 }
@@ -166,10 +165,7 @@ mod tests {
         };
         let coarse = total(1, &mut m);
         let fine = total(64, &mut m);
-        assert!(
-            fine > coarse,
-            "fine tiling {fine} should cost more cycles than coarse {coarse}"
-        );
+        assert!(fine > coarse, "fine tiling {fine} should cost more cycles than coarse {coarse}");
     }
 
     #[test]

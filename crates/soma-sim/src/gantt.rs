@@ -25,9 +25,8 @@ fn tile_label(net: &Network, plan: &ComputePlan, pos: usize) -> String {
 pub fn render_gantt(net: &Network, sched: &ParsedSchedule, tl: &Timeline, width: usize) -> String {
     let width = width.max(20);
     let latency = tl.latency.max(1);
-    let col = |cycle: u64| -> usize {
-        ((cycle as u128 * width as u128) / latency as u128) as usize
-    };
+    let col =
+        |cycle: u64| -> usize { ((cycle as u128 * width as u128) / latency as u128) as usize };
 
     let mut dram_row = vec!['.'; width + 1];
     let mut dram_text = String::new();
@@ -65,7 +64,8 @@ pub fn render_gantt(net: &Network, sched: &ParsedSchedule, tl: &Timeline, width:
     let peak = profile.iter().copied().max().unwrap_or(0).max(1);
     let mut buf_row = vec![' '; width + 1];
     for (pos, &usage) in profile.iter().enumerate() {
-        let (a, b) = (col(tl.tile_start[pos]), col(tl.tile_end[pos]).max(col(tl.tile_start[pos]) + 1));
+        let (a, b) =
+            (col(tl.tile_start[pos]), col(tl.tile_end[pos]).max(col(tl.tile_start[pos]) + 1));
         let level = ((usage as u128 * 8) / peak as u128) as usize;
         let ch = [' ', '1', '2', '3', '4', '5', '6', '7', '8'][level.min(8)];
         for slot in buf_row.iter_mut().take(b.min(width)).skip(a) {
@@ -99,8 +99,7 @@ mod tests {
     #[test]
     fn renders_rows_and_labels() {
         let net = zoo::fig2(1);
-        let sched =
-            ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 2))).unwrap();
+        let sched = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 2))).unwrap();
         let hw = HardwareConfig::edge();
         let mut m = CoreArrayModel::new(&hw);
         let tl = simulate(&sched.plan, &sched.dlsa, &hw, &mut m).unwrap();
@@ -117,8 +116,7 @@ mod tests {
     #[test]
     fn width_is_clamped() {
         let net = zoo::fig2(1);
-        let sched =
-            ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 1))).unwrap();
+        let sched = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 1))).unwrap();
         let hw = HardwareConfig::edge();
         let mut m = CoreArrayModel::new(&hw);
         let tl = simulate(&sched.plan, &sched.dlsa, &hw, &mut m).unwrap();

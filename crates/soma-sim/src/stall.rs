@@ -79,7 +79,7 @@ pub fn attribute_stalls(plan: &ComputePlan, dlsa: &Dlsa, tl: &Timeline) -> Vec<S
 
     let mut out = Vec::new();
     let mut prev_end = 0u64;
-    for tile in 0..n_tiles {
+    for (tile, tile_gates) in gates.iter().enumerate() {
         let start = tl.tile_start[tile];
         let gap = start.saturating_sub(prev_end);
         prev_end = tl.tile_end[tile];
@@ -88,10 +88,7 @@ pub fn attribute_stalls(plan: &ComputePlan, dlsa: &Dlsa, tl: &Timeline) -> Vec<S
         }
         // The releasing tensor: the gate finishing exactly at `start`
         // (or, failing an exact match, the latest-finishing gate).
-        let releaser = gates[tile]
-            .iter()
-            .copied()
-            .max_by_key(|&g| tl.tensor_end[g as usize]);
+        let releaser = tile_gates.iter().copied().max_by_key(|&g| tl.tensor_end[g as usize]);
         let Some(g) = releaser else { continue };
         let t = &plan.dram_tensors[g as usize];
         if tl.tensor_end[g as usize] < start {
@@ -156,10 +153,7 @@ mod tests {
         assert!(!stalls.is_empty());
         let summary = summarize(&stalls);
         assert!(summary.total() > 0);
-        assert_eq!(
-            summary.total(),
-            stalls.iter().map(|s| s.cycles).sum::<u64>()
-        );
+        assert_eq!(summary.total(), stalls.iter().map(|s| s.cycles).sum::<u64>());
     }
 
     #[test]

@@ -291,9 +291,6 @@ mod tests {
         dlsa.order.insert(0, last_store);
         let hw = HardwareConfig::edge();
         let mut m = CoreArrayModel::new(&hw);
-        assert!(matches!(
-            simulate(&plan, &dlsa, &hw, &mut m),
-            Err(SimError::Deadlock { .. })
-        ));
+        assert!(matches!(simulate(&plan, &dlsa, &hw, &mut m), Err(SimError::Deadlock { .. })));
     }
 }

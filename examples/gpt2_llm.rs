@@ -9,15 +9,15 @@ use soma::model::zoo;
 use soma::prelude::*;
 
 fn main() {
-    let effort: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02);
+    let effort: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let hw = HardwareConfig::edge();
     let seq = 512;
 
     println!("GPT-2-Small on {} (token length {seq}), effort {effort}\n", hw.name);
-    println!("{:<22} {:>6} {:>12} {:>10} {:>12}", "workload", "batch", "latency(ms)", "util", "energy(mJ)");
+    println!(
+        "{:<22} {:>6} {:>12} {:>10} {:>12}",
+        "workload", "batch", "latency(ms)", "util", "energy(mJ)"
+    );
 
     for batch in [1u32, 4, 16, 64] {
         for (phase, net) in [

@@ -13,8 +13,20 @@ fn main() {
     let net = zoo::fig2(1);
     let hw = HardwareConfig::edge();
 
-    println!("network: {} ({} layers, {:.2} GOPs, {:.2} MB weights)", net.name(), net.len(), net.total_ops() as f64 / 1e9, net.total_weight_bytes() as f64 / (1 << 20) as f64);
-    println!("hardware: {} ({} TOPS, {} MB GBUF, {} GB/s DRAM)\n", hw.name, hw.peak_tops(), hw.buffer_bytes >> 20, hw.dram_bytes_per_cycle);
+    println!(
+        "network: {} ({} layers, {:.2} GOPs, {:.2} MB weights)",
+        net.name(),
+        net.len(),
+        net.total_ops() as f64 / 1e9,
+        net.total_weight_bytes() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "hardware: {} ({} TOPS, {} MB GBUF, {} GB/s DRAM)\n",
+        hw.name,
+        hw.peak_tops(),
+        hw.buffer_bytes >> 20,
+        hw.dram_bytes_per_cycle
+    );
 
     // Baseline: no fusion, minimum-granularity tiles, double-buffer DLSA.
     let baseline = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 4)))
@@ -35,7 +47,11 @@ fn main() {
     println!("SoMa stage 2 (prefetch & delayed store):");
     println!("  latency       {} cycles", outcome.best.report.latency_cycles);
     println!("  energy        {:.3} mJ", outcome.best.report.energy.total_pj() / 1e9);
-    println!("  compute util  {:.1}% (theoretical max {:.1}%)", 100.0 * outcome.best.report.compute_util, 100.0 * outcome.best.report.theoretical_max_util);
+    println!(
+        "  compute util  {:.1}% (theoretical max {:.1}%)",
+        100.0 * outcome.best.report.compute_util,
+        100.0 * outcome.best.report.theoretical_max_util
+    );
     println!(
         "  speedup over baseline: {:.2}x\n",
         base_report.latency_cycles as f64 / outcome.best.report.latency_cycles as f64

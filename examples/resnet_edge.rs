@@ -29,12 +29,13 @@ fn main() {
 
     let ms = |cycles: u64| hw.cycles_to_seconds(cycles) * 1e3;
     let mj = |pj: f64| pj / 1e9;
-    println!("\n{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}", "scheme", "latency(ms)", "energy(mJ)", "util", "dram util", "buf peak(MB)");
-    for (name, report) in [
-        ("Cocco", &cocco.report),
-        ("Ours_1", &soma.stage1.report),
-        ("Ours_2", &soma.best.report),
-    ] {
+    println!(
+        "\n{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "latency(ms)", "energy(mJ)", "util", "dram util", "buf peak(MB)"
+    );
+    for (name, report) in
+        [("Cocco", &cocco.report), ("Ours_1", &soma.stage1.report), ("Ours_2", &soma.best.report)]
+    {
         println!(
             "{:<10} {:>12.3} {:>10.2} {:>9.1}% {:>9.1}% {:>10.2}",
             name,

@@ -10,6 +10,22 @@ fn quick(seed: u64) -> SearchConfig {
     SearchConfig { effort: 0.05, seed, ..SearchConfig::default() }
 }
 
+/// Fast deterministic CI gate: the whole pipeline on the paper's Fig. 2
+/// example at minimal effort. Must stay well under 30 s.
+#[test]
+fn ci_smoke() {
+    let net = zoo::fig2(1);
+    let hw = HardwareConfig::edge();
+    let cfg = SearchConfig { effort: 0.01, seed: 2025, ..SearchConfig::default() };
+    let out = soma::search::schedule(&net, &hw, &cfg);
+    assert!(out.best.report.latency_cycles > 0);
+    assert!(out.best.report.peak_buffer <= hw.buffer_bytes);
+    // Same seed, same schedule: the search must be reproducible.
+    let again = soma::search::schedule(&net, &hw, &cfg);
+    assert_eq!(out.best.report.latency_cycles, again.best.report.latency_cycles);
+    assert_eq!(out.best.cost, again.best.cost);
+}
+
 #[test]
 fn full_pipeline_on_fig2() {
     let net = zoo::fig2(1);
@@ -37,11 +53,7 @@ fn soma_stage2_improves_or_matches_stage1_on_resnet_slice() {
 fn soma_beats_unfused_baseline_on_fused_friendly_net() {
     let net = zoo::chain(1, 32, 56, 6);
     let hw = HardwareConfig::edge();
-    let baseline = ParsedSchedule::new(
-        &net,
-        &Encoding::from_lfa(Lfa::unfused(&net, 4)),
-    )
-    .unwrap();
+    let baseline = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 4))).unwrap();
     let base = evaluate(&net, &baseline, &hw).unwrap();
     let out = soma::search::schedule(&net, &hw, &quick(5));
     assert!(

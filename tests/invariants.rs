@@ -29,7 +29,12 @@ fn arb_lfa() -> impl Strategy<Value = (soma::model::Network, Lfa)> {
             flc.iter().copied().filter(|_| next() % 2 == 0).collect();
         let n_groups = flc.len() + 1;
         let tiling: Vec<u32> = (0..n_groups).map(|_| 1 << (next() % 5)).collect();
-        let lfa = Lfa { order: (0..n as u32).map(soma::model::LayerId).collect(), flc, tiling, dram_cuts };
+        let lfa = Lfa {
+            order: (0..n as u32).map(soma::model::LayerId).collect(),
+            flc,
+            tiling,
+            dram_cuts,
+        };
         (net, lfa)
     })
 }

@@ -87,14 +87,10 @@ fn cost_weights_change_the_optimum_direction() {
     // delay-optimal scheme cannot be slower than the energy-optimal one.
     let net = zoo::fig4(1);
     let hw = HardwareConfig::edge();
-    let delay_cfg = SearchConfig {
-        weights: CostWeights { energy_exp: 0.0, delay_exp: 1.0 },
-        ..cfg(31, 0.4)
-    };
-    let energy_cfg = SearchConfig {
-        weights: CostWeights { energy_exp: 1.0, delay_exp: 0.0 },
-        ..cfg(31, 0.4)
-    };
+    let delay_cfg =
+        SearchConfig { weights: CostWeights { energy_exp: 0.0, delay_exp: 1.0 }, ..cfg(31, 0.4) };
+    let energy_cfg =
+        SearchConfig { weights: CostWeights { energy_exp: 1.0, delay_exp: 0.0 }, ..cfg(31, 0.4) };
     let d = soma::search::schedule(&net, &hw, &delay_cfg);
     let e = soma::search::schedule(&net, &hw, &energy_cfg);
     assert!(

@@ -14,8 +14,7 @@ fn every_zoo_network_parses_and_simulates_unfused() {
         let plan = parse_lfa(&net, &lfa).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
         let dlsa = Dlsa::double_buffer(&plan);
         let sched = ParsedSchedule { plan, dlsa };
-        let report = evaluate(&net, &sched, &hw)
-            .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        let report = evaluate(&net, &sched, &hw).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
         assert!(report.latency_cycles > 0, "{}", net.name());
         assert!(report.energy.total_pj() > 0.0, "{}", net.name());
         // Lowering covers every tensor and tile exactly once.

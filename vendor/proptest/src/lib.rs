@@ -1,0 +1,120 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! [`any`] strategies, tuple composition, [`Strategy::prop_map`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug` in
+//!   the assertion message) but is not minimised.
+//! * **Deterministic.** Cases derive from a fixed seed (overridable with
+//!   `PROPTEST_SEED`), so CI failures always reproduce locally.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    // Macros are exported at the crate root; re-export for symmetry.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)` block
+/// becomes a `#[test]` that draws `config.cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::Runner::new(&config, stringify!($name));
+            while runner.more() {
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|rng: &mut $crate::test_runner::TestRng| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })(runner.rng());
+                runner.record(stringify!($name), outcome);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,126 @@
+//! Case execution: configuration, RNG, rejection accounting.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirror of `proptest::test_runner::ProptestConfig` (subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Global cap on rejected cases (`prop_assume!` failures) before the
+    /// test errors out as too narrow.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: draw a fresh input, don't count the case.
+    Reject,
+    /// An assertion failed: the whole test fails with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+///
+/// Seeds derive from the test name plus `PROPTEST_SEED` (default 2025), so
+/// every test exercises a distinct but reproducible stream.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    fn for_test(name: &str) -> Self {
+        let base: u64 =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2025);
+        // FNV-1a over the test name, folded into the base seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(base ^ h) }
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_raw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// The underlying [`StdRng`], for range sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Drives one `proptest!`-generated test to completion.
+pub struct Runner {
+    rng: TestRng,
+    cases_target: u32,
+    cases_done: u32,
+    rejects: u32,
+    max_rejects: u32,
+}
+
+impl Runner {
+    /// Builds a runner for the named test under `config`.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        Runner {
+            rng: TestRng::for_test(name),
+            cases_target: config.cases,
+            cases_done: 0,
+            rejects: 0,
+            max_rejects: config.max_global_rejects,
+        }
+    }
+
+    /// Whether another case should run.
+    pub fn more(&self) -> bool {
+        self.cases_done < self.cases_target
+    }
+
+    /// RNG for the next case.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Books the outcome of one case; panics the test on failure or on too
+    /// many rejects.
+    pub fn record(&mut self, name: &str, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.cases_done += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                if self.rejects > self.max_rejects {
+                    panic!(
+                        "{name}: too many prop_assume! rejects ({} with only {}/{} cases done)",
+                        self.rejects, self.cases_done, self.cases_target
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed after {} cases\n{msg}", self.cases_done)
+            }
+        }
+    }
+}

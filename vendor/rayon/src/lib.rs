@@ -1,0 +1,84 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The entry points (`par_iter`, `into_par_iter`, [`join`], [`scope`])
+//! return **ordinary sequential iterators** / run closures inline, so code
+//! written against this stub keeps compiling — and silently parallelises —
+//! once the real rayon is restored in `[workspace.dependencies]`. Only the
+//! adapters that exist on `std::iter::Iterator` are available; rayon-only
+//! adapters (`par_chunks`, `reduce_with`, ...) are intentionally absent so
+//! their use fails loudly at compile time instead of silently degrading.
+
+pub mod prelude {
+    //! Drop-in mirror of `rayon::prelude`.
+
+    /// Sequential stand-in for `rayon::prelude::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// "Parallel" iteration — sequential under the stub.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'data;
+        /// "Parallel" iteration over references — sequential under the stub.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        type Item = <&'data T as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Runs both closures (sequentially, left first) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Scope handle accepted by [`scope`] spawns.
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` immediately (sequential stand-in for `Scope::spawn`).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose spawns execute inline.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope { _marker: std::marker::PhantomData })
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! Provides the two marker traits and (behind the `derive` feature, as in
+//! real serde) re-exports the no-op derive macros from
+//! [`serde_derive`](../serde_derive). The workspace only uses serde to
+//! *annotate* types for future serialisation; no code path serialises yet.
+//! Swap back to crates.io serde by editing `[workspace.dependencies]`.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Sub-module mirror so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Sub-module mirror so `serde::ser::Serialize` paths resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}

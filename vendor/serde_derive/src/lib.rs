@@ -1,0 +1,23 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The build environment has no registry access, so this crate accepts the
+//! same derive syntax (`#[derive(Serialize, Deserialize)]` with optional
+//! `#[serde(...)]` attributes) and simply emits no code. Nothing in the
+//! workspace currently relies on a `Serialize`/`Deserialize` *impl* — the
+//! derives only mark types as serialisable for future wire formats. When a
+//! registry becomes available, point `[workspace.dependencies] serde` back
+//! at crates.io and delete `vendor/serde*`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,14 @@
+//! Offline placeholder for the `thiserror` crate.
+//!
+//! `thiserror`'s value is its `#[derive(Error)]` macro, which cannot be
+//! reproduced faithfully without `syn`/`quote` (unavailable offline), so
+//! this placeholder ships **no derive**. Error types in this workspace
+//! hand-implement `std::fmt::Display` and `std::error::Error` — see
+//! `soma-core/src/error.rs` for the house pattern. The crate exists so
+//! `[workspace.dependencies] thiserror` resolves today and can be pointed
+//! back at crates.io (making `#[derive(Error)]` available) without touching
+//! any member manifest.
+
+/// Re-export matching `thiserror`'s own re-export, so `thiserror::Error`
+/// paths in trait position keep resolving.
+pub use std::error::Error;
