@@ -14,24 +14,28 @@
 //! CSV columns: `workload,batch,variant,latency_cycles,energy_pj,cost`.
 
 use soma_arch::HardwareConfig;
-use soma_bench::{config_for, salt};
+use soma_bench::{salt, RunConfig};
 use soma_model::zoo;
-use soma_search::{schedule, schedule_cocco, SearchConfig};
+use soma_search::{Scheduler, SearchConfig};
 
 fn main() {
+    let rc = RunConfig::from_env_or_exit();
     let hw = HardwareConfig::edge();
     println!("workload,batch,variant,latency_cycles,energy_pj,cost");
 
     for batch in [1u32, 4] {
         for net in [zoo::resnet50(batch), zoo::gpt2_small_prefill(batch, 512)] {
             let name = net.name().to_string();
-            let base = config_for(&net, salt(&["ablation", &name, &batch.to_string()]));
+            let base = rc.config_for(&net, salt(&["ablation", &name, &batch.to_string()]));
 
-            let cocco = schedule_cocco(&net, &hw, &base);
-            let full = schedule(&net, &hw, &base);
-            let no_alloc =
-                schedule(&net, &hw, &SearchConfig { max_allocator_iters: 1, ..base.clone() });
-            let linked = schedule(&net, &hw, &SearchConfig { link_cuts: true, ..base.clone() });
+            let cocco = Scheduler::cocco(&net, &hw).config(base.clone()).run().best;
+            let full = Scheduler::new(&net, &hw).config(base.clone()).run();
+            let no_alloc = Scheduler::new(&net, &hw)
+                .config(SearchConfig { max_allocator_iters: 1, ..base.clone() })
+                .run();
+            let linked = Scheduler::new(&net, &hw)
+                .config(SearchConfig { link_cuts: true, ..base.clone() })
+                .run();
 
             let rows: Vec<(&str, u64, f64, f64)> = vec![
                 ("cocco", cocco.report.latency_cycles, cocco.report.energy.total_pj(), cocco.cost),

@@ -9,13 +9,14 @@
 //! with zero DRAM demand.
 
 use soma_arch::HardwareConfig;
-use soma_bench::{config_for, salt};
+use soma_bench::{salt, RunConfig};
 use soma_core::parse_lfa;
 use soma_model::stats::{layer_stats, normalize, std_dev};
 use soma_model::zoo;
-use soma_search::schedule_cocco;
+use soma_search::Scheduler;
 
 fn main() {
+    let rc = RunConfig::from_env_or_exit();
     let hw = HardwareConfig::edge();
     println!("panel,workload,item,dram_norm,ops_norm");
 
@@ -32,8 +33,8 @@ fn main() {
         let layer_spread = std_dev(&norm.iter().map(|p| p.dram).collect::<Vec<_>>());
 
         // Panels (c)/(d): per-tile under the Cocco schedule.
-        let cfg = config_for(net, salt(&["fig3", name]));
-        let cocco = schedule_cocco(net, &hw, &cfg);
+        let cfg = rc.config_for(net, salt(&["fig3", name]));
+        let cocco = Scheduler::cocco(net, &hw).config(cfg).run().best;
         let plan = parse_lfa(net, &cocco.encoding.lfa).expect("cocco scheme parses");
         // Attribute DRAM tensor bytes to their anchor tiles.
         let mut tile_dram = vec![0u64; plan.n_tiles() as usize];

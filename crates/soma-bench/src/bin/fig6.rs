@@ -12,10 +12,10 @@
 
 use std::sync::Mutex;
 
-use soma_bench::{batch_sizes, config_for, env_u64, platforms, salt, workloads};
+use soma_bench::{platforms, salt, workloads, RunConfig};
 use soma_core::parse_lfa;
 use soma_model::Network;
-use soma_search::{schedule, schedule_cocco, Evaluated};
+use soma_search::{Evaluated, Scheduler};
 
 fn row(platform: &str, net: &Network, batch: u32, scheme: &str, e: &Evaluated) -> String {
     let r = &e.report;
@@ -39,6 +39,7 @@ fn row(platform: &str, net: &Network, batch: u32, scheme: &str, e: &Evaluated) -
 }
 
 fn main() {
+    let rc = RunConfig::from_env_or_exit();
     println!(
         "platform,workload,batch,scheme,latency_cycles,core_energy_pj,dram_energy_pj,\
          compute_util,dram_util,theoretical_max_util,avg_buffer_bytes,peak_buffer_bytes,\
@@ -53,16 +54,16 @@ fn main() {
     }
     let mut cells = Vec::new();
     for platform in platforms() {
-        for batch in batch_sizes() {
+        for batch in rc.batch_sizes() {
             for net in workloads(&platform, batch) {
-                cells.push(Cell { platform: platform.clone(), batch, net });
+                if rc.selects(&net) {
+                    cells.push(Cell { platform: platform.clone(), batch, net });
+                }
             }
         }
     }
 
-    let threads =
-        env_u64("SOMA_THREADS", std::thread::available_parallelism().map_or(4, |n| n.get() as u64))
-            as usize;
+    let threads = rc.threads;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out = Mutex::new(());
 
@@ -72,12 +73,13 @@ fn main() {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
                 let name = cell.net.name().to_string();
-                let cfg = config_for(
+                let cfg = rc.config_for(
                     &cell.net,
                     salt(&["fig6", &cell.platform.name, &name, &cell.batch.to_string()]),
                 );
-                let cocco = schedule_cocco(&cell.net, &cell.platform, &cfg);
-                let soma = schedule(&cell.net, &cell.platform, &cfg);
+                let cocco =
+                    Scheduler::cocco(&cell.net, &cell.platform).config(cfg.clone()).run().best;
+                let soma = Scheduler::new(&cell.net, &cell.platform).config(cfg).run();
                 let mut rows = String::new();
                 for (scheme, e) in
                     [("cocco", &cocco), ("ours_1", &soma.stage1), ("ours_2", &soma.best)]

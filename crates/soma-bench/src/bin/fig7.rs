@@ -16,12 +16,12 @@
 use std::sync::Mutex;
 
 use soma_arch::HardwareConfig;
-use soma_bench::{batch_sizes, config_for, env_u64, salt};
+use soma_bench::{salt, RunConfig};
 use soma_model::zoo;
-use soma_search::{schedule, schedule_cocco};
+use soma_search::Scheduler;
 
-fn grids() -> (Vec<u64>, Vec<f64>) {
-    if env_u64("SOMA_FULL", 0) == 1 {
+fn grids(rc: &RunConfig) -> (Vec<u64>, Vec<f64>) {
+    if rc.full {
         (vec![2, 4, 8, 16, 32, 64], vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0])
     } else {
         (vec![4, 8, 32], vec![8.0, 16.0, 64.0])
@@ -29,8 +29,8 @@ fn grids() -> (Vec<u64>, Vec<f64>) {
 }
 
 fn main() {
-    let (buffers, bandwidths) = grids();
-    let filter = std::env::var("SOMA_WORKLOAD").unwrap_or_default();
+    let rc = RunConfig::from_env_or_exit();
+    let (buffers, bandwidths) = grids(&rc);
 
     println!("scheduler,workload,batch,buffer_mib,dram_gbps,latency_cycles,latency_ms");
 
@@ -41,9 +41,9 @@ fn main() {
         gbps: f64,
     }
     let mut cells = Vec::new();
-    for batch in batch_sizes() {
+    for batch in rc.batch_sizes() {
         for net in zoo::edge_suite(batch) {
-            if !filter.is_empty() && !net.name().contains(&filter) {
+            if !rc.selects(&net) {
                 continue;
             }
             for &mib in &buffers {
@@ -54,9 +54,7 @@ fn main() {
         }
     }
 
-    let threads =
-        env_u64("SOMA_THREADS", std::thread::available_parallelism().map_or(4, |n| n.get() as u64))
-            as usize;
+    let threads = rc.threads;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out = Mutex::new(());
 
@@ -72,7 +70,7 @@ fn main() {
                     .dram_gbps(cell.gbps)
                     .build();
                 let name = cell.net.name().to_string();
-                let cfg = config_for(
+                let cfg = rc.config_for(
                     &cell.net,
                     salt(&[
                         "fig7",
@@ -82,8 +80,8 @@ fn main() {
                         &cell.gbps.to_string(),
                     ]),
                 );
-                let cocco = schedule_cocco(&cell.net, &hw, &cfg);
-                let soma = schedule(&cell.net, &hw, &cfg);
+                let cocco = Scheduler::cocco(&cell.net, &hw).config(cfg.clone()).run().best;
+                let soma = Scheduler::new(&cell.net, &hw).config(cfg).run();
                 let mut rows = String::new();
                 for (scheduler, cycles) in [
                     ("cocco", cocco.report.latency_cycles),

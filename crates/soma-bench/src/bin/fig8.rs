@@ -4,13 +4,14 @@
 //!
 //! Default workload is a ResNet-50 prefix (full ResNet-50 renders but is
 //! wide); pass a name substring to choose from the edge suite, e.g.
-//! `cargo run --release --bin fig8 -- gpt2`.
+//! `cargo run --release --bin fig8 -- gpt2`, or set `SOMA_WORKLOAD`
+//! (the positional argument wins).
 
 use soma_arch::HardwareConfig;
-use soma_bench::{config_for, salt};
+use soma_bench::{salt, RunConfig};
 use soma_core::ParsedSchedule;
 use soma_model::zoo;
-use soma_search::{schedule, schedule_cocco, Evaluated};
+use soma_search::{Evaluated, Scheduler};
 use soma_sim::render_gantt;
 
 fn describe(net: &soma_model::Network, eval: &Evaluated) {
@@ -35,17 +36,22 @@ fn describe(net: &soma_model::Network, eval: &Evaluated) {
 }
 
 fn main() {
-    let pick = std::env::args().nth(1).unwrap_or_else(|| "resnet".into());
+    let rc = RunConfig::from_env_or_exit();
+    // Positional arg wins; `SOMA_WORKLOAD` is the shared-knob fallback.
+    let pick = std::env::args()
+        .nth(1)
+        .or_else(|| (!rc.workload.is_empty()).then(|| rc.workload.clone()))
+        .unwrap_or_else(|| "resnet".into());
     let net = zoo::edge_suite(1)
         .into_iter()
         .find(|n| n.name().contains(&pick))
         .unwrap_or_else(|| zoo::chain(1, 64, 56, 8));
     let hw = HardwareConfig::edge();
-    let cfg = config_for(&net, salt(&["fig8", net.name()]));
+    let cfg = rc.config_for(&net, salt(&["fig8", net.name()]));
 
     eprintln!("[fig8] scheduling {} (effort {:.3})...", net.name(), cfg.effort);
-    let cocco = schedule_cocco(&net, &hw, &cfg);
-    let soma = schedule(&net, &hw, &cfg);
+    let cocco = Scheduler::cocco(&net, &hw).config(cfg.clone()).run().best;
+    let soma = Scheduler::new(&net, &hw).config(cfg).run();
 
     for (title, eval) in
         [("Cocco", &cocco), ("SoMa first stage", &soma.stage1), ("SoMa second stage", &soma.best)]

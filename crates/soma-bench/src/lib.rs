@@ -2,7 +2,8 @@
 //!
 //! Each binary regenerates one figure/table of the paper (see DESIGN.md's
 //! per-experiment index) and prints CSV to stdout plus commentary to
-//! stderr. Common knobs come from the environment:
+//! stderr. All binaries share one documented knob surface, parsed once by
+//! [`RunConfig::from_env`]:
 //!
 //! * `SOMA_EFFORT` — multiplier on the per-workload search effort
 //!   (default 1.0; the built-in per-workload efforts are already scaled
@@ -11,52 +12,159 @@
 //!   the quick default {1,4}.
 //! * `SOMA_SEED` — base RNG seed (default 2025; SoMa and Cocco share the
 //!   per-configuration seed, as in the paper's artifact).
+//! * `SOMA_THREADS` — worker thread count (default: available
+//!   parallelism).
+//! * `SOMA_WORKLOAD` — workload-name substring filter (binaries that
+//!   sweep a suite skip non-matching networks).
+//!
+//! Unparseable values are a **hard error** — a typo'd knob aborts the run
+//! instead of silently falling back to a default and producing a
+//! mislabelled CSV. This crate is the only workspace member allowed to
+//! read `std::env` (CI lints the rest), so a `RunConfig` value *is* the
+//! complete run configuration and can be logged next to the results.
 
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
 use soma_arch::HardwareConfig;
 use soma_model::Network;
 use soma_search::SearchConfig;
 
-/// Reads an f64 from the environment with a default.
-pub fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+/// A `SOMA_*` environment variable that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// The offending variable name.
+    pub key: &'static str,
+    /// The value found in the environment.
+    pub value: String,
+    /// What the variable expects.
+    pub expected: &'static str,
 }
 
-/// Reads a u64 from the environment with a default.
-pub fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Batch sizes to sweep: {1,4} by default, {1,4,16,64} under `SOMA_FULL=1`.
-pub fn batch_sizes() -> Vec<u32> {
-    if env_u64("SOMA_FULL", 0) == 1 {
-        vec![1, 4, 16, 64]
-    } else {
-        vec![1, 4]
+impl fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}={:?}: expected {}", self.key, self.value, self.expected)
     }
 }
 
-/// Per-workload search effort, scaled so deep transformers stay tractable:
-/// the cost of one SA iteration grows with layer and tensor count, so the
-/// effort shrinks correspondingly. `SOMA_EFFORT` multiplies the result.
-pub fn effort_for(net: &Network) -> f64 {
-    let layers = net.len() as f64;
-    // Budget roughly constant total work: ~8000 stage-1 iterations. SoMa's
-    // space is far larger than Cocco's, so starving both equally (the
-    // paper runs beta = 100, i.e. effort 1.0, for 2 days on 192 cores)
-    // flatters the baseline; this is the smallest budget where SoMa's
-    // advantage is stable across the suite.
-    let base = (120.0 / layers).clamp(0.004, 1.0);
-    base * env_f64("SOMA_EFFORT", 1.0)
+impl std::error::Error for EnvParseError {}
+
+/// Reads and parses one environment variable; absence is `Ok(None)`,
+/// presence with an unparseable value is a hard [`EnvParseError`].
+fn parse_var<T: std::str::FromStr>(
+    key: &'static str,
+    expected: &'static str,
+) -> Result<Option<T>, EnvParseError> {
+    match std::env::var(key) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(EnvParseError { key, value: "<non-unicode>".into(), expected })
+        }
+        Ok(raw) => {
+            raw.trim().parse().map(Some).map_err(|_| EnvParseError { key, value: raw, expected })
+        }
+    }
 }
 
-/// Search configuration for one (workload, platform, batch) cell.
-pub fn config_for(net: &Network, seed_salt: u64) -> SearchConfig {
-    SearchConfig {
-        effort: effort_for(net),
-        seed: env_u64("SOMA_SEED", 2025) ^ seed_salt,
-        stage2_cap: 50_000,
-        max_allocator_iters: 4,
-        ..SearchConfig::default()
+/// The serialisable run configuration shared by every harness binary —
+/// the explicit replacement for per-binary ad-hoc `SOMA_*` reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
+pub struct RunConfig {
+    /// Multiplier on the per-workload search effort (`SOMA_EFFORT`).
+    pub effort_scale: f64,
+    /// Base RNG seed (`SOMA_SEED`).
+    pub seed: u64,
+    /// Sweep the full batch grid {1,4,16,64} (`SOMA_FULL=1`).
+    pub full: bool,
+    /// Worker thread count (`SOMA_THREADS`).
+    pub threads: usize,
+    /// Workload-name substring filter (`SOMA_WORKLOAD`, empty = all).
+    pub workload: String,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            effort_scale: 1.0,
+            seed: 2025,
+            full: false,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            workload: String::new(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses the documented `SOMA_*` knobs. Missing variables keep
+    /// their defaults; present-but-unparseable values are a hard error.
+    pub fn from_env() -> Result<Self, EnvParseError> {
+        let mut rc = Self::default();
+        if let Some(v) = parse_var::<f64>("SOMA_EFFORT", "a floating-point effort multiplier")? {
+            rc.effort_scale = v;
+        }
+        if let Some(v) = parse_var::<u64>("SOMA_SEED", "an unsigned integer seed")? {
+            rc.seed = v;
+        }
+        if let Some(v) = parse_var::<u64>("SOMA_FULL", "0 or 1")? {
+            rc.full = v != 0;
+        }
+        if let Some(v) = parse_var::<usize>("SOMA_THREADS", "a thread count >= 1")? {
+            rc.threads = v.max(1);
+        }
+        if let Some(v) = parse_var::<String>("SOMA_WORKLOAD", "a workload-name substring")? {
+            rc.workload = v;
+        }
+        Ok(rc)
+    }
+
+    /// [`from_env`](Self::from_env), aborting the process with a usage
+    /// message on a bad knob (the harness-binary entry-point idiom).
+    pub fn from_env_or_exit() -> Self {
+        Self::from_env().unwrap_or_else(|e| {
+            eprintln!("soma-bench: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Batch sizes to sweep: {1,4} by default, {1,4,16,64} under `full`.
+    pub fn batch_sizes(&self) -> Vec<u32> {
+        if self.full {
+            vec![1, 4, 16, 64]
+        } else {
+            vec![1, 4]
+        }
+    }
+
+    /// Per-workload search effort, scaled so deep transformers stay
+    /// tractable: the cost of one SA iteration grows with layer and
+    /// tensor count, so the effort shrinks correspondingly.
+    /// `effort_scale` multiplies the result.
+    pub fn effort_for(&self, net: &Network) -> f64 {
+        let layers = net.len() as f64;
+        // Budget roughly constant total work: ~8000 stage-1 iterations.
+        // SoMa's space is far larger than Cocco's, so starving both
+        // equally (the paper runs beta = 100, i.e. effort 1.0, for 2 days
+        // on 192 cores) flatters the baseline; this is the smallest
+        // budget where SoMa's advantage is stable across the suite.
+        let base = (120.0 / layers).clamp(0.004, 1.0);
+        base * self.effort_scale
+    }
+
+    /// Search configuration for one (workload, platform, batch) cell.
+    pub fn config_for(&self, net: &Network, seed_salt: u64) -> SearchConfig {
+        SearchConfig {
+            effort: self.effort_for(net),
+            seed: self.seed ^ seed_salt,
+            stage2_cap: 50_000,
+            max_allocator_iters: 4,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Whether a network passes the `workload` substring filter.
+    pub fn selects(&self, net: &Network) -> bool {
+        self.workload.is_empty() || net.name().contains(&self.workload)
     }
 }
 
@@ -94,9 +202,18 @@ mod tests {
 
     #[test]
     fn effort_shrinks_with_depth() {
+        let rc = RunConfig::default();
         let small = zoo::fig2(1);
         let big = zoo::gpt2_xl_prefill(1, 64);
-        assert!(effort_for(&small) > effort_for(&big));
+        assert!(rc.effort_for(&small) > rc.effort_for(&big));
+    }
+
+    #[test]
+    fn effort_scale_multiplies() {
+        let net = zoo::fig2(1);
+        let base = RunConfig::default();
+        let scaled = RunConfig { effort_scale: 0.5, ..RunConfig::default() };
+        assert!((scaled.effort_for(&net) - 0.5 * base.effort_for(&net)).abs() < 1e-12);
     }
 
     #[test]
@@ -111,5 +228,38 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p[0].peak_tops(), 16.0);
         assert_eq!(p[1].peak_tops(), 128.0);
+    }
+
+    #[test]
+    fn workload_filter_matches_substrings() {
+        let rc = RunConfig { workload: "fig2".into(), ..RunConfig::default() };
+        assert!(rc.selects(&zoo::fig2(1)));
+        assert!(!rc.selects(&zoo::fig4(1)));
+        assert!(RunConfig::default().selects(&zoo::fig4(1)));
+    }
+
+    #[test]
+    fn batch_grid_tracks_full_flag() {
+        assert_eq!(RunConfig::default().batch_sizes(), vec![1, 4]);
+        let full = RunConfig { full: true, ..RunConfig::default() };
+        assert_eq!(full.batch_sizes(), vec![1, 4, 16, 64]);
+    }
+
+    #[test]
+    fn config_for_salts_the_seed() {
+        let rc = RunConfig::default();
+        let net = zoo::fig2(1);
+        let a = rc.config_for(&net, salt(&["a"]));
+        let b = rc.config_for(&net, salt(&["b"]));
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.effort, b.effort);
+    }
+
+    #[test]
+    fn env_parse_error_is_descriptive() {
+        let e = EnvParseError { key: "SOMA_EFFORT", value: "fast".into(), expected: "a float" };
+        let msg = e.to_string();
+        assert!(msg.contains("SOMA_EFFORT"));
+        assert!(msg.contains("fast"));
     }
 }

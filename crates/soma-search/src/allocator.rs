@@ -7,21 +7,23 @@
 //! stage-1 budget shrinks by `allocator_step x Buffer_max` per iteration,
 //! freeing headroom for stage-2 prefetching. Iteration stops when two
 //! consecutive budgets fail to beat the best overall cost.
+//!
+//! The allocator policy itself lives in
+//! [`SearchSession`](crate::session::SearchSession); this module keeps
+//! the outcome type and the original blocking [`schedule`] entry point
+//! as a shim over the session API.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use soma_arch::HardwareConfig;
-use soma_core::Encoding;
 use soma_model::Network;
 
-use crate::dlsa_stage::run_stage2;
-use crate::lfa_stage::run_stage1;
-use crate::objective::{Evaluated, Objective};
+use crate::objective::Evaluated;
+use crate::session::Scheduler;
 use crate::SearchConfig;
 
 /// Result of a full SoMa exploration.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct SearchOutcome {
     /// The stage-1 scheme behind the best overall scheme, evaluated under
     /// the double-buffer DLSA — the paper's `Ours_1` bars.
@@ -64,56 +66,11 @@ impl SearchOutcome {
 
 /// Runs the complete SoMa framework: Buffer Allocator around the two SA
 /// stages.
+///
+/// Thin shim over [`Scheduler`]; same-seed results are bit-identical to
+/// `Scheduler::new(net, hw).config(cfg.clone()).run()`.
 pub fn schedule(net: &Network, hw: &HardwareConfig, cfg: &SearchConfig) -> SearchOutcome {
-    let mut obj = Objective::new(net, hw, cfg.weights);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    let mut best: Option<(Evaluated, Evaluated)> = None; // (stage1, final)
-    let mut buffer_max = 0u64;
-    let mut limit = hw.buffer_bytes;
-    let mut consecutive_fails = 0usize;
-    let mut iters_done = 0usize;
-
-    for iter in 0..cfg.max_allocator_iters.max(1) {
-        iters_done = iter + 1;
-        let s1 = run_stage1(&mut obj, cfg, &mut rng, limit);
-        if iter == 0 {
-            buffer_max = s1.report.peak_buffer.max(1);
-        }
-        let s2 = run_stage2(&mut obj, cfg, &mut rng, &s1.plan, s1.dlsa.clone(), hw.buffer_bytes);
-
-        let stage1_eval = Evaluated {
-            encoding: Encoding { lfa: s1.lfa.clone(), dlsa: Some(s1.dlsa.clone()) },
-            report: s1.report.clone(),
-            cost: s1.cost,
-        };
-        let final_eval = Evaluated {
-            encoding: Encoding { lfa: s1.lfa, dlsa: Some(s2.dlsa) },
-            report: s2.report,
-            cost: s2.cost,
-        };
-
-        let improved = best.as_ref().is_none_or(|(_, b)| final_eval.cost < b.cost);
-        if improved {
-            best = Some((stage1_eval, final_eval));
-            consecutive_fails = 0;
-        } else {
-            consecutive_fails += 1;
-            if consecutive_fails >= 2 {
-                break;
-            }
-        }
-
-        // Shrink the stage-1 budget for the next iteration.
-        let step = (cfg.allocator_step * buffer_max as f64) as u64;
-        if step == 0 || limit <= step {
-            break;
-        }
-        limit -= step;
-    }
-
-    let (stage1, final_eval) = best.expect("at least one allocator iteration ran");
-    SearchOutcome { stage1, best: final_eval, allocator_iters: iters_done, evals: obj.evals() }
+    Scheduler::new(net, hw).config(cfg.clone()).build().run()
 }
 
 #[cfg(test)]

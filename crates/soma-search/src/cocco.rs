@@ -11,14 +11,16 @@
 //! * the DLSA is the classical double-buffer strategy.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use soma_arch::HardwareConfig;
-use soma_core::{Encoding, Lfa};
+use soma_core::Lfa;
 use soma_model::{LayerId, Network, Src};
 
 use crate::lfa_stage::min_granularity_tiling;
-use crate::objective::{Evaluated, Objective};
+use crate::objective::Evaluated;
 use crate::sa::{anneal, SaSchedule};
+use crate::session::Scheduler;
+use crate::stage::{RoundCtx, SearchStage, StageArtifact};
 use crate::SearchConfig;
 
 /// Cocco's heuristic tiling number for a group of layers: the finest
@@ -107,37 +109,62 @@ fn mutate_cocco(net: &Network, hw: &HardwareConfig, lfa: &Lfa, rng: &mut StdRng)
     Some(out)
 }
 
+/// Cocco's restricted exploration as a composable [`SearchStage`]: SA
+/// over computing order and linked FLC/DRAM-cut sets with heuristic
+/// tiling, evaluated under the double-buffer DLSA and the full hardware
+/// buffer (the restricted space has no stage-2, so the session runs it
+/// as a single allocator round).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoccoStage;
+
+impl SearchStage for CoccoStage {
+    fn name(&self) -> &'static str {
+        "cocco"
+    }
+
+    fn run(&self, ctx: &mut RoundCtx<'_, '_>) -> StageArtifact {
+        let net = ctx.obj.network();
+        let hw = ctx.obj.hardware();
+        let cfg = ctx.cfg;
+        let limit = ctx.buffer_limit;
+
+        let init = initial_cocco(net, hw);
+        let (init_cost, ..) =
+            ctx.obj.eval_lfa(&init, limit).expect("Cocco's unfused initial solution must parse");
+
+        let iters = cfg.stage1_iters(net.len());
+        let schedule = SaSchedule {
+            t0: cfg.t0,
+            alpha: cfg.alpha,
+            iters,
+            greedy_tail: iters / 10,
+            time_budget: cfg.stage_time_budget(),
+        };
+        let obj = &mut *ctx.obj;
+        let result = anneal(&schedule, ctx.rng, init, init_cost, |lfa, rng| {
+            let cand = mutate_cocco(net, hw, lfa, rng)?;
+            let (cost, ..) = obj.eval_lfa(&cand, limit)?;
+            Some((cand, cost))
+        });
+
+        let (cost, plan, dlsa, report) =
+            ctx.obj.eval_lfa(&result.best, limit).expect("best Cocco solution must re-evaluate");
+        StageArtifact { lfa: result.best, plan, dlsa, report, cost }
+    }
+}
+
 /// Runs the Cocco baseline search.
+///
+/// Thin shim over [`Scheduler::cocco`]; same-seed results are
+/// bit-identical to the session API.
 pub fn schedule_cocco(net: &Network, hw: &HardwareConfig, cfg: &SearchConfig) -> Evaluated {
-    let mut obj = Objective::new(net, hw, cfg.weights);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    let init = initial_cocco(net, hw);
-    let (init_cost, ..) =
-        obj.eval_lfa(&init, hw.buffer_bytes).expect("Cocco's unfused initial solution must parse");
-
-    let iters = cfg.stage1_iters(net.len());
-    let schedule = SaSchedule {
-        t0: cfg.t0,
-        alpha: cfg.alpha,
-        iters,
-        greedy_tail: iters / 10,
-        time_budget: cfg.stage_time_budget(),
-    };
-    let result = anneal(&schedule, &mut rng, init, init_cost, |lfa, rng| {
-        let cand = mutate_cocco(net, hw, lfa, rng)?;
-        let (cost, ..) = obj.eval_lfa(&cand, hw.buffer_bytes)?;
-        Some((cand, cost))
-    });
-
-    let (cost, _, dlsa, report) =
-        obj.eval_lfa(&result.best, hw.buffer_bytes).expect("best Cocco solution must re-evaluate");
-    Evaluated { encoding: Encoding { lfa: result.best, dlsa: Some(dlsa) }, report, cost }
+    Scheduler::cocco(net, hw).config(cfg.clone()).build().run().best
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use soma_model::zoo;
 
     #[test]

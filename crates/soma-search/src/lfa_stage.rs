@@ -14,6 +14,7 @@ use soma_sim::EvalReport;
 
 use crate::objective::Objective;
 use crate::sa::{anneal, SaSchedule};
+use crate::stage::{RoundCtx, SearchStage, StageArtifact};
 use crate::SearchConfig;
 
 /// The minimum-granularity tiling number for a layer: the finest tiling
@@ -229,6 +230,29 @@ pub fn run_stage1(
     let (cost, plan, dlsa, report) =
         obj.eval_lfa(&result.best, buffer_limit).expect("best stage-1 solution must re-evaluate");
     Stage1Result { lfa: result.best, plan, dlsa, report, cost }
+}
+
+/// Stage 1 as a composable [`SearchStage`]: anneals the LFA under the
+/// round's shrinking buffer budget and hands the winner (with its
+/// double-buffer DLSA) to the next stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LfaStage;
+
+impl SearchStage for LfaStage {
+    fn name(&self) -> &'static str {
+        "lfa"
+    }
+
+    fn run(&self, ctx: &mut RoundCtx<'_, '_>) -> StageArtifact {
+        let s1 = run_stage1(ctx.obj, ctx.cfg, ctx.rng, ctx.stage1_limit);
+        StageArtifact {
+            lfa: s1.lfa,
+            plan: s1.plan,
+            dlsa: s1.dlsa,
+            report: s1.report,
+            cost: s1.cost,
+        }
+    }
 }
 
 #[cfg(test)]

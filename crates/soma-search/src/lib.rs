@@ -1,7 +1,43 @@
 //! The SoMa exploration framework (paper Sec. V): a Buffer Allocator
-//! driving two simulated-annealing stages over the DRAM communication
-//! scheduling space, plus the Cocco baseline (Sec. VI-A3).
+//! driving a pipeline of simulated-annealing stages over the DRAM
+//! communication scheduling space, plus the Cocco baseline (Sec. VI-A3).
 //!
+//! The public entry point is the [`Scheduler`] builder: it configures a
+//! search (network + hardware, [`SearchConfig`] knobs, stage pipeline,
+//! progress observer, seed list) and yields a stepping [`SearchSession`].
+//! Each [`SearchSession::step`] runs one allocator round (stage 1 +
+//! stage 2 for SoMa) and emits typed [`SearchEvent`]s — round started,
+//! stage finished, new best, budget exhausted — so callers can observe,
+//! log, stop early or resume. [`Scheduler::run`] is the
+//! drive-to-completion convenience; with several [`Scheduler::seeds`] it
+//! races one session per seed via `rayon` and returns the envelope best.
+//!
+//! ```
+//! use soma_arch::HardwareConfig;
+//! use soma_model::zoo;
+//! use soma_search::{Scheduler, SearchConfig, SearchEvent};
+//!
+//! let net = zoo::fig2(1);
+//! let cfg = SearchConfig { effort: 0.02, seed: 1, ..SearchConfig::default() };
+//! let mut rounds = 0;
+//! let out = Scheduler::new(&net, &HardwareConfig::edge())
+//!     .config(cfg)
+//!     .observer(|ev| {
+//!         if matches!(ev, SearchEvent::RoundStarted { .. }) {
+//!             rounds += 1;
+//!         }
+//!     })
+//!     .run();
+//! assert!(out.best.cost <= out.stage1.cost);
+//! assert!(rounds >= 1);
+//! ```
+//!
+//! Module map:
+//!
+//! * [`session`] — the [`Scheduler`] builder, [`SearchSession`] and
+//!   [`SearchEvent`]s.
+//! * [`stage`] — the [`SearchStage`] trait and [`StageSpec`] pipeline
+//!   descriptions (stage composition as data).
 //! * [`sa`] — the generic annealer with the paper's cooling schedule.
 //! * [`objective`] — the `Energy^n x Delay^m` objective with buffer-budget
 //!   penalties, wrapping the evaluator.
@@ -9,20 +45,10 @@
 //!   the classical double-buffer DLSA.
 //! * [`dlsa_stage`] — stage 2: SA over DRAM tensor order and living
 //!   durations with size-proportional tensor selection.
-//! * [`allocator`] — the outer Buffer Allocator iteration.
+//! * [`allocator`] — the outcome type and the blocking [`schedule`] shim.
 //! * [`cocco`] — the restricted baseline: FLC set == DRAM cut set,
 //!   KC-parallelism heuristic tiling, double-buffer DLSA.
-//!
-//! ```
-//! use soma_arch::HardwareConfig;
-//! use soma_model::zoo;
-//! use soma_search::{schedule, SearchConfig};
-//!
-//! let net = zoo::fig2(1);
-//! let cfg = SearchConfig { effort: 0.02, seed: 1, ..SearchConfig::default() };
-//! let out = schedule(&net, &HardwareConfig::edge(), &cfg);
-//! assert!(out.best.cost <= out.stage1.cost);
-//! ```
+//! * [`sweep`] — design-space exploration grids over hardware points.
 
 pub mod allocator;
 pub mod cocco;
@@ -30,12 +56,18 @@ pub mod dlsa_stage;
 pub mod lfa_stage;
 pub mod objective;
 pub mod sa;
+pub mod session;
+pub mod stage;
 pub mod sweep;
 
 pub use allocator::{schedule, SearchOutcome};
-pub use cocco::{cocco_tiling, schedule_cocco};
+pub use cocco::{cocco_tiling, schedule_cocco, CoccoStage};
+pub use dlsa_stage::DlsaStage;
+pub use lfa_stage::LfaStage;
 pub use objective::{CostWeights, Evaluated, Objective};
 pub use sa::{anneal, SaResult, SaSchedule};
+pub use session::{Scheduler, SearchEvent, SearchSession, StepOutcome};
+pub use stage::{RoundCtx, SearchStage, StageArtifact, StageSpec};
 pub use sweep::{dse, envelope, grid, DsePoint, GridPoint};
 
 use serde::{Deserialize, Serialize};

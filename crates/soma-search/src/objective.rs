@@ -25,6 +25,7 @@ impl Default for CostWeights {
 
 /// A fully evaluated scheduling scheme.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct Evaluated {
     /// The scheme.
     pub encoding: Encoding,

@@ -36,6 +36,7 @@ impl SaSchedule {
 
 /// Outcome of an annealing run.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct SaResult<S> {
     /// Best state observed.
     pub best: S,

@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 use soma_arch::HardwareConfig;
 use soma_model::Network;
 
-use crate::{schedule, schedule_cocco, SearchConfig};
+use crate::session::Scheduler;
+use crate::SearchConfig;
 
 /// One grid point of the DSE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,9 +84,10 @@ pub fn dse(
                     seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37),
                     ..cfg.clone()
                 };
-                let soma = schedule(net, &hw, &cell_cfg);
-                let cocco_latency =
-                    with_cocco.then(|| schedule_cocco(net, &hw, &cell_cfg).report.latency_cycles);
+                let soma = Scheduler::new(net, &hw).config(cell_cfg.clone()).run();
+                let cocco_latency = with_cocco.then(|| {
+                    Scheduler::cocco(net, &hw).config(cell_cfg).run().best.report.latency_cycles
+                });
                 let record = DsePoint {
                     point,
                     soma_latency: soma.best.report.latency_cycles,

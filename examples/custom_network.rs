@@ -36,9 +36,10 @@ fn main() {
         net.total_weight_bytes() as f64 / 1024.0
     );
 
+    // Portfolio mode: race four seeds in parallel, keep the envelope best.
     let hw = HardwareConfig::edge();
-    let cfg = SearchConfig { effort: 0.4, seed: 77, ..SearchConfig::default() };
-    let out = soma::search::schedule(&net, &hw, &cfg);
+    let cfg = SearchConfig { effort: 0.4, ..SearchConfig::default() };
+    let out = Scheduler::new(&net, &hw).config(cfg).seeds([77, 78, 79, 80]).run();
     let shape = out.shape(&net);
 
     println!(

@@ -33,7 +33,7 @@ fn main() {
                 .dram_gbps(bw)
                 .build();
             let cfg = SearchConfig { effort, seed: 99, ..SearchConfig::default() };
-            let out = soma::search::schedule(&net, &hw, &cfg);
+            let out = Scheduler::new(&net, &hw).config(cfg).run();
             print!("{:>11.2}", hw.cycles_to_seconds(out.best.report.latency_cycles) * 1e3);
         }
         println!();

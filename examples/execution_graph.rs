@@ -7,7 +7,6 @@
 use soma::core::ParsedSchedule;
 use soma::model::zoo;
 use soma::prelude::*;
-use soma::search::schedule_cocco;
 use soma::sim::{attribute_stalls, render_gantt, summarize};
 
 fn main() {
@@ -15,8 +14,8 @@ fn main() {
     let hw = HardwareConfig::edge();
     let cfg = SearchConfig { effort: 0.5, seed: 2024, ..SearchConfig::default() };
 
-    let cocco = schedule_cocco(&net, &hw, &cfg);
-    let soma = soma::search::schedule(&net, &hw, &cfg);
+    let cocco = Scheduler::cocco(&net, &hw).config(cfg.clone()).run().best;
+    let soma = Scheduler::new(&net, &hw).config(cfg).run();
 
     for (title, eval) in [
         ("Cocco", &cocco),

@@ -25,7 +25,7 @@ fn main() {
             ("decode", zoo::gpt2_small_decode(batch, seq)),
         ] {
             let cfg = SearchConfig { effort, seed: 7, ..SearchConfig::default() };
-            let out = soma::search::schedule(&net, &hw, &cfg);
+            let out = Scheduler::new(&net, &hw).config(cfg).run();
             println!(
                 "{:<22} {:>6} {:>12.3} {:>9.2}% {:>12.2}",
                 format!("gpt2-small-{phase}"),

@@ -1,8 +1,9 @@
 //! Quickstart: schedule the paper's Fig. 2 three-layer network on the edge
 //! accelerator and compare the classical double-buffer baseline against the
-//! full SoMa exploration.
+//! full SoMa exploration, watching the search progress through a
+//! [`Scheduler`] observer.
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! Run with: `cargo run --release --example quickstart [effort]`
 
 use soma::core::{Encoding, Lfa, ParsedSchedule};
 use soma::model::zoo;
@@ -10,6 +11,7 @@ use soma::prelude::*;
 use soma::sim::render_gantt;
 
 fn main() {
+    let effort: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let net = zoo::fig2(1);
     let hw = HardwareConfig::edge();
 
@@ -38,9 +40,25 @@ fn main() {
     println!("  compute util  {:.1}%", 100.0 * base_report.compute_util);
     println!("  DRAM traffic  {:.2} MB\n", base_report.dram_bytes as f64 / (1 << 20) as f64);
 
-    // Full SoMa exploration (buffer allocator + two SA stages).
-    let cfg = SearchConfig { effort: 0.5, seed: 42, ..SearchConfig::default() };
-    let outcome = soma::search::schedule(&net, &hw, &cfg);
+    // Full SoMa exploration (buffer allocator + two SA stages), with a
+    // progress observer: every allocator round and stage reports in.
+    let cfg = SearchConfig { effort, seed: 42, ..SearchConfig::default() };
+    let outcome = Scheduler::new(&net, &hw)
+        .config(cfg)
+        .observer(|ev| match ev {
+            SearchEvent::RoundStarted { round, stage1_budget } => {
+                eprintln!(
+                    "round {round}: stage-1 budget {:.2} MB",
+                    *stage1_budget as f64 / (1 << 20) as f64
+                );
+            }
+            SearchEvent::StageFinished { stage, cost, .. } => {
+                eprintln!("  stage {stage}: cost {cost:.3e}");
+            }
+            SearchEvent::NewBest { cost, .. } => eprintln!("  new best: cost {cost:.3e}"),
+            _ => {}
+        })
+        .run();
     println!("SoMa stage 1 (layer fusion, double-buffer):");
     println!("  latency       {} cycles", outcome.stage1.report.latency_cycles);
     println!("  energy        {:.3} mJ", outcome.stage1.report.energy.total_pj() / 1e9);

@@ -6,7 +6,6 @@
 
 use soma::model::zoo;
 use soma::prelude::*;
-use soma::search::schedule_cocco;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,8 +23,8 @@ fn main() {
         net.total_weight_bytes() as f64 / (1 << 20) as f64
     );
 
-    let cocco = schedule_cocco(&net, &hw, &cfg);
-    let soma = soma::search::schedule(&net, &hw, &cfg);
+    let cocco = Scheduler::cocco(&net, &hw).config(cfg.clone()).run().best;
+    let soma = Scheduler::new(&net, &hw).config(cfg).run();
 
     let ms = |cycles: u64| hw.cycles_to_seconds(cycles) * 1e3;
     let mj = |pj: f64| pj / 1e9;

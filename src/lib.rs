@@ -10,10 +10,14 @@
 //! * [`arch`] — accelerator hardware configuration and energy model.
 //! * [`core`] — the tensor-centric notation and its parser.
 //! * [`sim`] — the evaluator (timeline simulator + core-array model).
-//! * [`search`] — the two-stage SA framework, buffer allocator and the
-//!   Cocco baseline.
+//! * [`search`] — the [`Scheduler`](search::Scheduler) session API over
+//!   the two-stage SA framework, buffer allocator and the Cocco
+//!   baseline.
 //!
 //! # Quickstart
+//!
+//! Build a search with the [`Scheduler`](search::Scheduler), then either
+//! drive it to completion with `run()` or step it round by round:
 //!
 //! ```
 //! use soma::prelude::*;
@@ -21,7 +25,7 @@
 //! let net = soma::model::zoo::fig2(1);
 //! let hw = HardwareConfig::edge();
 //! let cfg = SearchConfig { effort: 0.05, seed: 7, ..SearchConfig::default() };
-//! let outcome = soma::search::schedule(&net, &hw, &cfg);
+//! let outcome = Scheduler::new(&net, &hw).config(cfg).run();
 //! assert!(outcome.best.report.latency_cycles > 0);
 //! ```
 
@@ -36,6 +40,9 @@ pub mod prelude {
     pub use soma_arch::{EnergyModel, HardwareConfig};
     pub use soma_core::{Encoding, ParsedSchedule};
     pub use soma_model::{FmapShape, LayerId, Network, NetworkBuilder};
-    pub use soma_search::{schedule, CostWeights, SearchConfig, SearchOutcome};
+    pub use soma_search::{
+        schedule, CostWeights, Scheduler, SearchConfig, SearchEvent, SearchOutcome, SearchSession,
+        StepOutcome,
+    };
     pub use soma_sim::{evaluate, EvalReport};
 }
