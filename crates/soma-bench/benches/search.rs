@@ -22,6 +22,14 @@ fn bench_objective(c: &mut Criterion) {
     c.bench_function("objective/eval_dlsa_resnet50", |b| {
         b.iter(|| obj.eval_parts(&plan, &dlsa, hw.buffer_bytes).unwrap().0)
     });
+
+    // The compiled-engine fast path the stage-2 annealer actually runs:
+    // allocation-free queue replay + maintained peak.
+    let compiled = obj.compile(&plan);
+    let peak = soma_core::lifetime::peak_buffer(&plan, &dlsa);
+    c.bench_function("objective/eval_dlsa_compiled_resnet50", |b| {
+        b.iter(|| obj.eval_compiled_with_peak(&compiled, &dlsa, peak, hw.buffer_bytes).unwrap())
+    });
 }
 
 fn bench_end_to_end(c: &mut Criterion) {

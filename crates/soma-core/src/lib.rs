@@ -45,6 +45,7 @@ pub use dlsa::Dlsa;
 pub use encoding::{Encoding, Lfa};
 pub use error::ParseError;
 pub use ir::{lower, Instr, Program};
+pub use lifetime::OccupancyProfile;
 pub use plan::{parse_lfa, ComputePlan, DramKind, DramTensor, OnchipInterval, Tile};
 pub use scheme::{read_scheme, write_scheme, SchemeError};
 pub use tiles::{FlgLayout, TileGrid, TileShape};

@@ -25,7 +25,25 @@ pub fn buffer_profile(plan: &ComputePlan, dlsa: &Dlsa) -> Vec<u64> {
         return Vec::new();
     }
     // Difference array over tiles; intervals are [from, to] inclusive.
-    let mut diff = vec![0i64; n + 1];
+    let mut diff = Vec::new();
+    fill_diff(plan, dlsa, &mut diff);
+    let mut out = Vec::with_capacity(n);
+    let mut cur = 0i64;
+    for d in diff.iter().take(n) {
+        cur += d;
+        debug_assert!(cur >= 0, "buffer occupancy went negative");
+        out.push(cur as u64);
+    }
+    out
+}
+
+/// Writes the per-tensor occupancy intervals of `(plan, dlsa)` into a
+/// difference array (`diff[t]` = occupancy change when tile `t` starts).
+/// `diff` is cleared and resized to `n_tiles + 1`.
+fn fill_diff(plan: &ComputePlan, dlsa: &Dlsa, diff: &mut Vec<i64>) {
+    let n = plan.n_tiles() as usize;
+    diff.clear();
+    diff.resize(n + 1, 0);
     let mut add = |from: u32, to_excl: u32, bytes: u64| {
         let from = (from as usize).min(n);
         let to = (to_excl as usize).min(n);
@@ -44,19 +62,167 @@ pub fn buffer_profile(plan: &ComputePlan, dlsa: &Dlsa) -> Vec<u64> {
             add(t.anchor, dlsa.end[i].max(t.anchor + 1), t.bytes);
         }
     }
-    let mut out = Vec::with_capacity(n);
+}
+
+/// Peak of [`buffer_profile`], without materialising the profile: one
+/// fused pass over the difference array, accumulating the running
+/// maximum.
+pub fn peak_buffer(plan: &ComputePlan, dlsa: &Dlsa) -> u64 {
+    let mut diff = Vec::new();
+    peak_buffer_into(plan, dlsa, &mut diff)
+}
+
+/// [`peak_buffer`] against a caller-owned scratch difference array: zero
+/// heap allocation once `diff`'s capacity has grown to `n_tiles + 1`
+/// (the evaluation-engine hot path re-uses one scratch across thousands
+/// of calls).
+pub fn peak_buffer_into(plan: &ComputePlan, dlsa: &Dlsa, diff: &mut Vec<i64>) -> u64 {
+    let n = plan.n_tiles() as usize;
+    if n == 0 {
+        return 0;
+    }
+    fill_diff(plan, dlsa, diff);
     let mut cur = 0i64;
+    let mut peak = 0i64;
     for d in diff.iter().take(n) {
         cur += d;
         debug_assert!(cur >= 0, "buffer occupancy went negative");
-        out.push(cur as u64);
+        peak = peak.max(cur);
     }
-    out
+    peak as u64
 }
 
-/// Peak of [`buffer_profile`].
-pub fn peak_buffer(plan: &ComputePlan, dlsa: &Dlsa) -> u64 {
-    buffer_profile(plan, dlsa).into_iter().max().unwrap_or(0)
+/// The buffer-occupancy profile as a *maintained* structure: a segment
+/// tree over tiles supporting `O(log n)` range adds and `O(1)` peak
+/// queries, so a single-tensor living-duration move costs `O(log n)`
+/// instead of an `O(n)` profile rebuild.
+///
+/// This is the stage-2 annealer's view of [`buffer_profile`]: built once
+/// per frozen plan, then kept in sync with each DLSA mutation via
+/// [`shift_interval_start`](Self::shift_interval_start) /
+/// [`shift_interval_end`](Self::shift_interval_end) (and rolled back the
+/// same way when a proposal is rejected).
+#[derive(Debug, Clone)]
+pub struct OccupancyProfile {
+    /// Number of tiles (leaves of the tree).
+    n: usize,
+    /// Subtree max, *including* this node's pending add.
+    mx: Vec<i64>,
+    /// Pending range-add covering the node's whole segment.
+    add: Vec<i64>,
+}
+
+impl OccupancyProfile {
+    /// Builds the profile of `(plan, dlsa)`; equal to [`buffer_profile`]
+    /// point-for-point.
+    pub fn new(plan: &ComputePlan, dlsa: &Dlsa) -> Self {
+        let profile = buffer_profile(plan, dlsa);
+        let n = profile.len();
+        let mut p = Self { n, mx: vec![0; 4 * n.max(1)], add: vec![0; 4 * n.max(1)] };
+        if n > 0 {
+            p.build(1, 0, n - 1, &profile);
+        }
+        p
+    }
+
+    fn build(&mut self, node: usize, lo: usize, hi: usize, profile: &[u64]) {
+        if lo == hi {
+            self.mx[node] = profile[lo] as i64;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.build(2 * node, lo, mid, profile);
+        self.build(2 * node + 1, mid + 1, hi, profile);
+        self.mx[node] = self.mx[2 * node].max(self.mx[2 * node + 1]);
+    }
+
+    /// Number of tiles covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan has no tiles.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Peak occupancy over all tiles, in bytes.
+    pub fn peak(&self) -> u64 {
+        if self.n == 0 {
+            0
+        } else {
+            self.mx[1].max(0) as u64
+        }
+    }
+
+    /// Occupancy while tile `t` executes (point query; for tests and
+    /// differential checks).
+    pub fn occupancy(&self, t: usize) -> u64 {
+        assert!(t < self.n, "tile {t} out of range ({} tiles)", self.n);
+        let mut node = 1;
+        let (mut lo, mut hi) = (0, self.n - 1);
+        let mut acc = 0i64;
+        while lo < hi {
+            acc += self.add[node];
+            let mid = (lo + hi) / 2;
+            if t <= mid {
+                node *= 2;
+                hi = mid;
+            } else {
+                node = 2 * node + 1;
+                lo = mid + 1;
+            }
+        }
+        (acc + self.mx[node]).max(0) as u64
+    }
+
+    /// Adds `delta` bytes to the occupancy of tiles `[from, to_excl)`
+    /// (clamped to the tile range; empty ranges are a no-op).
+    pub fn range_add(&mut self, from: u32, to_excl: u32, delta: i64) {
+        let from = (from as usize).min(self.n);
+        let to = (to_excl as usize).min(self.n);
+        if from < to {
+            self.range_add_rec(1, 0, self.n - 1, from, to - 1, delta);
+        }
+    }
+
+    fn range_add_rec(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, d: i64) {
+        if l <= lo && hi <= r {
+            self.add[node] += d;
+            self.mx[node] += d;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        if l <= mid {
+            self.range_add_rec(2 * node, lo, mid, l, r.min(mid), d);
+        }
+        if r > mid {
+            self.range_add_rec(2 * node + 1, mid + 1, hi, l.max(mid + 1), r, d);
+        }
+        self.mx[node] = self.mx[2 * node].max(self.mx[2 * node + 1]) + self.add[node];
+    }
+
+    /// Moves the *start* of a resident interval `[start, to_excl)` of
+    /// `bytes` from `old_start` to `new_start` (a load's Living-Duration
+    /// `Start` mutation: earlier start ⇒ tiles `[new, old)` gain the
+    /// bytes, later start ⇒ tiles `[old, new)` release them).
+    pub fn shift_interval_start(&mut self, bytes: u64, old_start: u32, new_start: u32) {
+        match new_start.cmp(&old_start) {
+            std::cmp::Ordering::Less => self.range_add(new_start, old_start, bytes as i64),
+            std::cmp::Ordering::Greater => self.range_add(old_start, new_start, -(bytes as i64)),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Moves the *exclusive end* of a resident interval from `old_end` to
+    /// `new_end` (a store's Living-Duration `End` mutation).
+    pub fn shift_interval_end(&mut self, bytes: u64, old_end: u32, new_end: u32) {
+        match new_end.cmp(&old_end) {
+            std::cmp::Ordering::Greater => self.range_add(old_end, new_end, bytes as i64),
+            std::cmp::Ordering::Less => self.range_add(new_end, old_end, -(bytes as i64)),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +296,69 @@ mod tests {
         d.end[si] = n;
         let after = buffer_profile(&plan, &d);
         assert_eq!(after[n as usize - 1], before[n as usize - 1] + bytes);
+    }
+
+    #[test]
+    fn fused_peak_matches_profile_max() {
+        let net = zoo::fig2(1);
+        for lfa in [Lfa::unfused(&net, 4), Lfa::fully_fused(&net, 8)] {
+            let plan = parse_lfa(&net, &lfa).unwrap();
+            let dlsa = Dlsa::double_buffer(&plan);
+            let expect = buffer_profile(&plan, &dlsa).into_iter().max().unwrap_or(0);
+            assert_eq!(peak_buffer(&plan, &dlsa), expect);
+            let mut scratch = Vec::new();
+            assert_eq!(peak_buffer_into(&plan, &dlsa, &mut scratch), expect);
+            // Scratch re-use across calls keeps the answer stable.
+            assert_eq!(peak_buffer_into(&plan, &dlsa, &mut scratch), expect);
+        }
+    }
+
+    #[test]
+    fn occupancy_profile_matches_rebuild_pointwise() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::fully_fused(&net, 4)).unwrap();
+        let dlsa = Dlsa::double_buffer(&plan);
+        let p = OccupancyProfile::new(&plan, &dlsa);
+        let reference = buffer_profile(&plan, &dlsa);
+        assert_eq!(p.len(), reference.len());
+        for (t, &b) in reference.iter().enumerate() {
+            assert_eq!(p.occupancy(t), b, "tile {t}");
+        }
+        assert_eq!(p.peak(), reference.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn occupancy_profile_tracks_living_duration_moves() {
+        let net = zoo::fig2(1);
+        let plan = parse_lfa(&net, &Lfa::unfused(&net, 4)).unwrap();
+        let mut dlsa = Dlsa::double_buffer(&plan);
+        let mut p = OccupancyProfile::new(&plan, &dlsa);
+
+        // Pull one load's start to 0 and push one store's end to the
+        // sentinel; the maintained profile must match a fresh rebuild
+        // after every move, and undo must restore the previous state.
+        let li = plan.dram_tensors.iter().position(|t| t.is_load && t.anchor > 0).unwrap();
+        let (old, bytes) = (dlsa.start[li], plan.dram_tensors[li].bytes);
+        let peak_before = p.peak();
+        p.shift_interval_start(bytes, old, 0);
+        dlsa.start[li] = 0;
+        assert_eq!(p.peak(), peak_buffer(&plan, &dlsa));
+        for (t, &b) in buffer_profile(&plan, &dlsa).iter().enumerate() {
+            assert_eq!(p.occupancy(t), b, "tile {t} after start move");
+        }
+        // Undo restores the original peak.
+        p.shift_interval_start(bytes, 0, old);
+        assert_eq!(p.peak(), peak_before);
+        dlsa.start[li] = old;
+
+        let si = plan.dram_tensors.iter().position(|t| !t.is_load).unwrap();
+        let (old_end, bytes) = (dlsa.end[si], plan.dram_tensors[si].bytes);
+        p.shift_interval_end(bytes, old_end, plan.n_tiles());
+        dlsa.end[si] = plan.n_tiles();
+        assert_eq!(p.peak(), peak_buffer(&plan, &dlsa));
+        for (t, &b) in buffer_profile(&plan, &dlsa).iter().enumerate() {
+            assert_eq!(p.occupancy(t), b, "tile {t} after end move");
+        }
     }
 
     #[test]

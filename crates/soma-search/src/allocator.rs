@@ -32,8 +32,12 @@ pub struct SearchOutcome {
     pub best: Evaluated,
     /// Number of allocator iterations executed.
     pub allocator_iters: usize,
-    /// Total schedule evaluations.
+    /// Total *completed* schedule evaluations.
     pub evals: u64,
+    /// Total failed evaluation attempts (deadlocked DRAM tensor orders,
+    /// structurally invalid LFAs), kept apart from `evals` so
+    /// evaluations-per-second metrics measure real work.
+    pub rejected: u64,
 }
 
 /// Summary statistics of a found scheme (for the paper's Sec. VI-B

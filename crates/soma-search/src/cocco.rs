@@ -141,9 +141,10 @@ impl SearchStage for CoccoStage {
             time_budget: cfg.stage_time_budget(),
         };
         let obj = &mut *ctx.obj;
+        // Cost-only engine fast path; bit-identical to `eval_lfa`'s cost.
         let result = anneal(&schedule, ctx.rng, init, init_cost, |lfa, rng| {
             let cand = mutate_cocco(net, hw, lfa, rng)?;
-            let (cost, ..) = obj.eval_lfa(&cand, limit)?;
+            let cost = obj.eval_lfa_cost(&cand, limit)?;
             Some((cand, cost))
         });
 

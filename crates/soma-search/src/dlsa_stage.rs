@@ -6,14 +6,25 @@
 //! proportional to tensor size: "larger tensors generally have a greater
 //! impact on performance and buffer utilisation, warranting more
 //! transformation opportunities".
+//!
+//! This stage is the hottest loop of the whole framework, so it runs on
+//! the compiled evaluation engine: the frozen plan is
+//! [compiled](crate::objective::Objective::compile) once, each proposal
+//! mutates the live [`Dlsa`] in place through a [`DlsaEditor`] (apply /
+//! [`undo`](DlsaEditor::undo) tokens instead of cloning), the
+//! buffer-occupancy profile is maintained incrementally (`O(log n)` per
+//! single-tensor move, never rebuilt), and evaluation takes the
+//! allocation-free cost-only path. The RNG draws mirror [`mutate_dlsa`]
+//! exactly, so the search trajectory — and therefore the same-seed
+//! outcome — is bit-identical to the naive clone-per-proposal loop.
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use soma_core::{ComputePlan, Dlsa};
+use soma_core::{ComputePlan, Dlsa, OccupancyProfile};
 use soma_sim::EvalReport;
 
 use crate::objective::Objective;
-use crate::sa::{anneal, SaResult, SaSchedule};
+use crate::sa::{anneal_inplace, AnnealState, SaResult, SaSchedule};
 use crate::stage::{RoundCtx, SearchStage, StageArtifact};
 use crate::SearchConfig;
 
@@ -56,6 +67,10 @@ impl SizeWeightedPicker {
 /// One random DLSA mutation: *Change DRAM Tensor Order* or *Change Living
 /// Duration*. Returns `None` when the plan has no DRAM tensors or the
 /// mutation is an identity.
+///
+/// This is the naive clone-per-proposal reference; the annealer itself
+/// drives a [`DlsaEditor`], which draws from the RNG identically and is
+/// proven equivalent by the differential suite (`tests/engine_equiv.rs`).
 pub fn mutate_dlsa(
     plan: &ComputePlan,
     dlsa: &Dlsa,
@@ -100,6 +115,190 @@ pub fn mutate_dlsa(
     }
 }
 
+/// Undo token for one applied [`DlsaEditor`] mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlsaMove {
+    /// The tensor moved from queue position `from` to `to`.
+    Order {
+        /// Canonical tensor index.
+        tensor: u32,
+        /// Queue position before the move (after removing the tensor).
+        from: usize,
+        /// Queue position after the move.
+        to: usize,
+    },
+    /// A load's Living-Duration `Start` changed.
+    LoadStart {
+        /// Canonical tensor index.
+        tensor: usize,
+        /// Previous start.
+        old: u32,
+        /// New start.
+        new: u32,
+    },
+    /// A store's Living-Duration `End` changed.
+    StoreEnd {
+        /// Canonical tensor index.
+        tensor: usize,
+        /// Previous end.
+        old: u32,
+        /// New end.
+        new: u32,
+    },
+}
+
+/// In-place DLSA mutator for the stage-2 inner loop: owns the live
+/// [`Dlsa`] and its incrementally maintained [`OccupancyProfile`].
+/// [`propose`](Self::propose) draws from the RNG exactly like
+/// [`mutate_dlsa`] (same trajectory at the same seed) but applies the
+/// mutation to the live state, returning an undo token instead of a
+/// clone; [`undo`](Self::undo) rolls one token back.
+#[derive(Debug)]
+pub struct DlsaEditor<'p> {
+    plan: &'p ComputePlan,
+    dlsa: Dlsa,
+    profile: OccupancyProfile,
+}
+
+impl<'p> DlsaEditor<'p> {
+    /// Builds the editor around an initial DLSA of `plan`.
+    pub fn new(plan: &'p ComputePlan, dlsa: Dlsa) -> Self {
+        let profile = OccupancyProfile::new(plan, &dlsa);
+        Self { plan, dlsa, profile }
+    }
+
+    /// The live DLSA.
+    pub fn dlsa(&self) -> &Dlsa {
+        &self.dlsa
+    }
+
+    /// Peak buffer occupancy of the live DLSA (maintained, `O(1)`).
+    pub fn peak(&self) -> u64 {
+        self.profile.peak()
+    }
+
+    /// The maintained occupancy profile (for differential checks).
+    pub fn profile(&self) -> &OccupancyProfile {
+        &self.profile
+    }
+
+    /// Consumes the editor into its live DLSA.
+    pub fn into_dlsa(self) -> Dlsa {
+        self.dlsa
+    }
+
+    /// Draws one mutation (identical RNG stream to [`mutate_dlsa`]) and
+    /// applies it in place. `None` means the drawn mutation was an
+    /// identity — nothing was applied and no token is issued.
+    pub fn propose(&mut self, picker: &SizeWeightedPicker, rng: &mut StdRng) -> Option<DlsaMove> {
+        if picker.is_empty() {
+            return None;
+        }
+        let ti = picker.pick(rng);
+        let tensor = &self.plan.dram_tensors[ti];
+        let n_tiles = self.plan.n_tiles();
+        if rng.gen_bool(0.5) {
+            // Change DRAM Tensor Order. The naive path removes first and
+            // then draws the insertion slot among `len - 1` positions;
+            // drawing before removing is the same distribution, and the
+            // result is an identity exactly when the slot is unchanged.
+            let cur = self.dlsa.order.iter().position(|&o| o as usize == ti).expect("in order");
+            let q = rng.gen_range(0..=self.dlsa.order.len() - 1);
+            if q == cur {
+                return None;
+            }
+            self.dlsa.order.remove(cur);
+            self.dlsa.order.insert(q, ti as u32);
+            Some(DlsaMove::Order { tensor: ti as u32, from: cur, to: q })
+        } else if tensor.is_load {
+            let new = rng.gen_range(0..=tensor.anchor);
+            let old = self.dlsa.start[ti];
+            if new == old {
+                return None;
+            }
+            self.profile.shift_interval_start(tensor.bytes, old, new);
+            self.dlsa.start[ti] = new;
+            Some(DlsaMove::LoadStart { tensor: ti, old, new })
+        } else {
+            let new = rng.gen_range(tensor.anchor + 1..=n_tiles);
+            let old = self.dlsa.end[ti];
+            if new == old {
+                return None;
+            }
+            self.profile.shift_interval_end(tensor.bytes, old, new);
+            self.dlsa.end[ti] = new;
+            Some(DlsaMove::StoreEnd { tensor: ti, old, new })
+        }
+    }
+
+    /// Rolls one applied mutation back (LIFO with respect to
+    /// [`propose`](Self::propose)).
+    pub fn undo(&mut self, mv: DlsaMove) {
+        match mv {
+            DlsaMove::Order { tensor, from, to } => {
+                let moved = self.dlsa.order.remove(to);
+                debug_assert_eq!(moved, tensor);
+                self.dlsa.order.insert(from, tensor);
+            }
+            DlsaMove::LoadStart { tensor, old, new } => {
+                let bytes = self.plan.dram_tensors[tensor].bytes;
+                self.profile.shift_interval_start(bytes, new, old);
+                self.dlsa.start[tensor] = old;
+            }
+            DlsaMove::StoreEnd { tensor, old, new } => {
+                let bytes = self.plan.dram_tensors[tensor].bytes;
+                self.profile.shift_interval_end(bytes, new, old);
+                self.dlsa.end[tensor] = old;
+            }
+        }
+    }
+}
+
+/// The stage-2 annealing problem: editor + compiled engine + objective.
+struct Stage2Anneal<'e, 'p, 'a> {
+    obj: &'e mut Objective<'a>,
+    engine: &'e soma_sim::CompiledPlan,
+    editor: DlsaEditor<'p>,
+    picker: &'e SizeWeightedPicker,
+    buffer_limit: u64,
+    pending: Option<DlsaMove>,
+}
+
+impl AnnealState<StdRng> for Stage2Anneal<'_, '_, '_> {
+    type Snapshot = Dlsa;
+
+    fn propose(&mut self, rng: &mut StdRng) -> Option<f64> {
+        let mv = self.editor.propose(self.picker, rng)?;
+        match self.obj.eval_compiled_with_peak(
+            self.engine,
+            self.editor.dlsa(),
+            self.editor.peak(),
+            self.buffer_limit,
+        ) {
+            Some(cost) => {
+                self.pending = Some(mv);
+                Some(cost)
+            }
+            None => {
+                // Deadlocked order: roll back before skipping.
+                self.editor.undo(mv);
+                None
+            }
+        }
+    }
+
+    fn resolve(&mut self, accept: bool) {
+        let mv = self.pending.take().expect("resolve follows a successful propose");
+        if !accept {
+            self.editor.undo(mv);
+        }
+    }
+
+    fn snapshot(&mut self) -> Dlsa {
+        self.editor.dlsa().clone()
+    }
+}
+
 /// Best scheme found by stage 2.
 #[derive(Debug, Clone)]
 pub struct Stage2Result {
@@ -112,7 +311,9 @@ pub struct Stage2Result {
 }
 
 /// Runs the stage-2 annealer on a frozen plan, starting from `init`
-/// (normally the double-buffer DLSA of the stage-1 winner).
+/// (normally the double-buffer DLSA of the stage-1 winner). The plan is
+/// compiled once; every proposal then runs the in-place, allocation-free
+/// engine path.
 pub fn run_stage2(
     obj: &mut Objective<'_>,
     cfg: &SearchConfig,
@@ -137,11 +338,18 @@ pub fn run_stage2(
         greedy_tail: iters / 10,
         time_budget: cfg.stage_time_budget(),
     };
-    let result: SaResult<Dlsa> = anneal(&schedule, rng, init, init_cost, |dlsa, rng| {
-        let cand = mutate_dlsa(plan, dlsa, &picker, rng)?;
-        let (cost, _) = obj.eval_parts(plan, &cand, buffer_limit)?;
-        Some((cand, cost))
-    });
+    let engine = obj.compile(plan);
+    let result: SaResult<Dlsa> = {
+        let mut state = Stage2Anneal {
+            obj: &mut *obj,
+            engine: &engine,
+            editor: DlsaEditor::new(plan, init),
+            picker: &picker,
+            buffer_limit,
+            pending: None,
+        };
+        anneal_inplace(&schedule, rng, init_cost, &mut state)
+    };
 
     let (cost, report) = obj
         .eval_parts(plan, &result.best, buffer_limit)
@@ -179,7 +387,7 @@ mod tests {
     use crate::objective::{CostWeights, Objective};
     use rand::SeedableRng;
     use soma_arch::HardwareConfig;
-    use soma_core::{parse_lfa, Lfa};
+    use soma_core::{lifetime, parse_lfa, Lfa};
     use soma_model::zoo;
 
     fn setup() -> (soma_model::Network, ComputePlan, Dlsa) {
@@ -220,6 +428,44 @@ mod tests {
             }
         }
         assert!(changed > 100);
+    }
+
+    #[test]
+    fn editor_walks_the_exact_mutate_dlsa_chain() {
+        // Same seed ⇒ the editor and the cloning mutator must visit the
+        // identical DLSA sequence, with the maintained profile matching a
+        // fresh rebuild at every step.
+        let (_, plan, dlsa) = setup();
+        let picker = SizeWeightedPicker::new(&plan);
+        let mut rng_a = StdRng::seed_from_u64(41);
+        let mut rng_b = StdRng::seed_from_u64(41);
+        let mut naive = dlsa.clone();
+        let mut editor = DlsaEditor::new(&plan, dlsa);
+        for step in 0..400 {
+            let cand = mutate_dlsa(&plan, &naive, &picker, &mut rng_a);
+            let token = editor.propose(&picker, &mut rng_b);
+            assert_eq!(cand.is_some(), token.is_some(), "step {step} diverged");
+            if let Some(cand) = cand {
+                naive = cand;
+            }
+            assert_eq!(editor.dlsa(), &naive, "step {step}");
+            assert_eq!(editor.peak(), lifetime::peak_buffer(&plan, &naive), "step {step} peak");
+        }
+    }
+
+    #[test]
+    fn editor_undo_restores_state_and_profile() {
+        let (_, plan, dlsa) = setup();
+        let picker = SizeWeightedPicker::new(&plan);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut editor = DlsaEditor::new(&plan, dlsa.clone());
+        for _ in 0..200 {
+            if let Some(mv) = editor.propose(&picker, &mut rng) {
+                editor.undo(mv);
+            }
+            assert_eq!(editor.dlsa(), &dlsa);
+            assert_eq!(editor.peak(), lifetime::peak_buffer(&plan, &dlsa));
+        }
     }
 
     #[test]

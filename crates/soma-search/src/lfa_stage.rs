@@ -221,9 +221,11 @@ pub fn run_stage1(
         greedy_tail: iters / 10,
         time_budget: cfg.stage_time_budget(),
     };
+    // The SA inner loop takes the engine's cost-only fast path (same
+    // cost bits as `eval_lfa`, no report/timeline construction).
     let result = anneal(&schedule, rng, init, init_cost, |lfa, rng| {
         let cand = mutate_lfa(net, lfa, rng, cfg.link_cuts)?;
-        let (cost, ..) = obj.eval_lfa(&cand, buffer_limit)?;
+        let cost = obj.eval_lfa_cost(&cand, buffer_limit)?;
         Some((cand, cost))
     });
 

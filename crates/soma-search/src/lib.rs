@@ -40,11 +40,14 @@
 //!   descriptions (stage composition as data).
 //! * [`sa`] — the generic annealer with the paper's cooling schedule.
 //! * [`objective`] — the `Energy^n x Delay^m` objective with buffer-budget
-//!   penalties, wrapping the evaluator.
+//!   penalties, wrapping the evaluator and the compiled engine's
+//!   cost-only fast paths.
 //! * [`lfa_stage`] — stage 1: SA over the layer-fusion attributes under
 //!   the classical double-buffer DLSA.
 //! * [`dlsa_stage`] — stage 2: SA over DRAM tensor order and living
-//!   durations with size-proportional tensor selection.
+//!   durations with size-proportional tensor selection, run in place on
+//!   the compiled engine (apply/undo mutation tokens, incrementally
+//!   maintained buffer profile, zero-allocation evaluation).
 //! * [`allocator`] — the outcome type and the blocking [`schedule`] shim.
 //! * [`cocco`] — the restricted baseline: FLC set == DRAM cut set,
 //!   KC-parallelism heuristic tiling, double-buffer DLSA.
@@ -62,10 +65,10 @@ pub mod sweep;
 
 pub use allocator::{schedule, SearchOutcome};
 pub use cocco::{cocco_tiling, schedule_cocco, CoccoStage};
-pub use dlsa_stage::DlsaStage;
+pub use dlsa_stage::{DlsaEditor, DlsaMove, DlsaStage, SizeWeightedPicker};
 pub use lfa_stage::LfaStage;
 pub use objective::{CostWeights, Evaluated, Objective};
-pub use sa::{anneal, SaResult, SaSchedule};
+pub use sa::{anneal, anneal_inplace, AnnealState, SaResult, SaSchedule};
 pub use session::{Scheduler, SearchEvent, SearchSession, StepOutcome};
 pub use stage::{RoundCtx, SearchStage, StageArtifact, StageSpec};
 pub use sweep::{dse, envelope, grid, DsePoint, GridPoint};

@@ -54,16 +54,87 @@ pub struct SaResult<S> {
 /// means the mutation was invalid (rejected without cost). Acceptance of a
 /// worse state with cost `c'` over `c` uses `p = exp((c - c') / (c T_n))`
 /// — the paper's relative-degradation criterion.
+///
+/// This is a thin cloning adapter over [`anneal_inplace`], so the two
+/// entry points share one control loop by construction (same cooling,
+/// time-budget, greedy-tail and acceptance logic — and therefore the
+/// same RNG stream for equivalent proposal draws).
 pub fn anneal<S: Clone, R: Rng>(
     schedule: &SaSchedule,
     rng: &mut R,
     init: S,
     init_cost: f64,
-    mut neighbor: impl FnMut(&S, &mut R) -> Option<(S, f64)>,
+    neighbor: impl FnMut(&S, &mut R) -> Option<(S, f64)>,
 ) -> SaResult<S> {
-    let mut cur = init.clone();
+    struct Cloning<S, F> {
+        cur: S,
+        cand: Option<S>,
+        neighbor: F,
+    }
+    impl<S: Clone, R: Rng, F: FnMut(&S, &mut R) -> Option<(S, f64)>> AnnealState<R> for Cloning<S, F> {
+        type Snapshot = S;
+        fn propose(&mut self, rng: &mut R) -> Option<f64> {
+            let (cand, cost) = (self.neighbor)(&self.cur, rng)?;
+            self.cand = Some(cand);
+            Some(cost)
+        }
+        fn resolve(&mut self, accept: bool) {
+            let cand = self.cand.take().expect("resolve follows a successful propose");
+            if accept {
+                self.cur = cand;
+            }
+        }
+        fn snapshot(&mut self) -> S {
+            self.cur.clone()
+        }
+    }
+    let mut state = Cloning { cur: init, cand: None, neighbor };
+    anneal_inplace(schedule, rng, init_cost, &mut state)
+}
+
+/// An annealing problem mutated *in place*: proposals are applied to the
+/// live state with apply/undo tokens instead of cloning it, so the inner
+/// loop allocates nothing.
+///
+/// The contract mirrors the closure of [`anneal`]: a [`propose`]
+/// (apply a mutation, evaluate, return its cost) that returns `None` for
+/// invalid proposals **after fully rolling them back**, a [`resolve`]
+/// that commits or rolls back the pending proposal, and a [`snapshot`]
+/// that clones the current state (called only when a new best appears).
+///
+/// [`propose`]: AnnealState::propose
+/// [`resolve`]: AnnealState::resolve
+/// [`snapshot`]: AnnealState::snapshot
+pub trait AnnealState<R: Rng> {
+    /// Owned copy of the state (the `best` the annealer returns).
+    type Snapshot;
+
+    /// Applies one random mutation to the live state and evaluates it.
+    /// `None` means the proposal was invalid (identity mutation, failed
+    /// evaluation); the implementation must have undone any partial
+    /// application before returning.
+    fn propose(&mut self, rng: &mut R) -> Option<f64>;
+
+    /// Called exactly once after each `Some` proposal: `accept == true`
+    /// keeps the mutation, `false` must roll it back.
+    fn resolve(&mut self, accept: bool);
+
+    /// Clones the current state.
+    fn snapshot(&mut self) -> Self::Snapshot;
+}
+
+/// [`anneal`] over an in-place [`AnnealState`]: identical cooling
+/// schedule, acceptance criterion and RNG stream (a state machine built
+/// from the same mutation draws follows the exact same trajectory), but
+/// the state is mutated with apply/undo instead of cloned per proposal.
+pub fn anneal_inplace<R: Rng, P: AnnealState<R>>(
+    schedule: &SaSchedule,
+    rng: &mut R,
+    init_cost: f64,
+    state: &mut P,
+) -> SaResult<P::Snapshot> {
     let mut cur_cost = init_cost;
-    let mut best = init;
+    let mut best = state.snapshot();
     let mut best_cost = init_cost;
     let mut evaluated = 0;
     let mut accepted = 0;
@@ -89,7 +160,7 @@ pub fn anneal<S: Clone, R: Rng>(
                 break; // Y greedy iterations done
             }
         }
-        let Some((cand, cost)) = neighbor(&cur, rng) else {
+        let Some(cost) = state.propose(rng) else {
             continue;
         };
         evaluated += 1;
@@ -106,12 +177,12 @@ pub fn anneal<S: Clone, R: Rng>(
                 rng.gen_bool(p.clamp(0.0, 1.0))
             }
         };
+        state.resolve(accept);
         if accept {
-            cur = cand;
             cur_cost = cost;
             accepted += 1;
             if cur_cost < best_cost {
-                best = cur.clone();
+                best = state.snapshot();
                 best_cost = cur_cost;
             }
         }
@@ -169,6 +240,52 @@ mod tests {
         let r = anneal(&s, &mut rng, 5i64, 5.0, |&x, _| Some((x + 1, 1000.0)));
         assert_eq!(r.best, 5);
         assert_eq!(r.accepted, 0);
+    }
+
+    #[test]
+    fn inplace_annealer_follows_the_exact_cloning_trajectory() {
+        // Same seed, same cooling schedule, same proposal distribution:
+        // the in-place annealer must reproduce `anneal`'s result bit for
+        // bit, because it consumes the identical RNG stream.
+        let cost = |x: i64| ((x - 17) * (x - 17) + 1) as f64;
+        let s = sched(3000);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let cloned = anneal(&s, &mut rng, 100i64, cost(100), |&x, rng| {
+            let step: i64 = rng.gen_range(-3..=3);
+            let y = x + step;
+            Some((y, cost(y)))
+        });
+
+        struct Quad {
+            x: i64,
+            pending: i64,
+        }
+        impl AnnealState<StdRng> for Quad {
+            type Snapshot = i64;
+            fn propose(&mut self, rng: &mut StdRng) -> Option<f64> {
+                let step: i64 = rng.gen_range(-3..=3);
+                self.x += step;
+                self.pending = step;
+                Some(((self.x - 17) * (self.x - 17) + 1) as f64)
+            }
+            fn resolve(&mut self, accept: bool) {
+                if !accept {
+                    self.x -= self.pending;
+                }
+            }
+            fn snapshot(&mut self) -> i64 {
+                self.x
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut q = Quad { x: 100, pending: 0 };
+        let inplace = anneal_inplace(&s, &mut rng, cost(100), &mut q);
+
+        assert_eq!(inplace.best, cloned.best);
+        assert_eq!(inplace.best_cost.to_bits(), cloned.best_cost.to_bits());
+        assert_eq!(inplace.evaluated, cloned.evaluated);
+        assert_eq!(inplace.accepted, cloned.accepted);
     }
 
     #[test]

@@ -67,6 +67,13 @@ pub enum SearchEvent {
         seed: u64,
         /// Best cost that seed reached.
         cost: f64,
+        /// Completed schedule evaluations of that seed's session.
+        evals: u64,
+        /// Failed evaluation attempts (deadlocked DLSAs, invalid LFAs)
+        /// of that seed's session — kept apart from `evals` so
+        /// throughput metrics do not conflate proposals with completed
+        /// evaluations.
+        rejected: u64,
     },
     /// The session finished: allocator budget, round cap or convergence.
     BudgetExhausted {
@@ -223,7 +230,12 @@ impl<'a, 'o> Scheduler<'a, 'o> {
                 for ev in events {
                     f(ev);
                 }
-                f(&SearchEvent::SeedFinished { seed: *seed, cost: out.best.cost });
+                f(&SearchEvent::SeedFinished {
+                    seed: *seed,
+                    cost: out.best.cost,
+                    evals: out.evals,
+                    rejected: out.rejected,
+                });
             }
         }
         outcomes
@@ -387,9 +399,15 @@ impl<'a, 'o> SearchSession<'a, 'o> {
         self.rounds_done
     }
 
-    /// Schedule evaluations performed so far.
+    /// Completed schedule evaluations performed so far.
     pub fn evals(&self) -> u64 {
         self.obj.evals()
+    }
+
+    /// Failed evaluation attempts so far (deadlocked DLSAs, invalid
+    /// LFAs).
+    pub fn rejected(&self) -> u64 {
+        self.obj.rejected()
     }
 
     /// The best overall scheme found so far (`None` before the first
@@ -417,7 +435,13 @@ impl<'a, 'o> SearchSession<'a, 'o> {
     /// [`run`](Self::run) first.
     pub fn into_outcome(self) -> SearchOutcome {
         let (stage1, best) = self.best.expect("no allocator round has run; call step() or run()");
-        SearchOutcome { stage1, best, allocator_iters: self.rounds_done, evals: self.obj.evals() }
+        SearchOutcome {
+            stage1,
+            best,
+            allocator_iters: self.rounds_done,
+            evals: self.obj.evals(),
+            rejected: self.obj.rejected(),
+        }
     }
 }
 

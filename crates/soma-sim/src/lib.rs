@@ -14,6 +14,13 @@
 //!    quantities Fig. 6 plots (energy split, utilisations, buffer usage,
 //!    theoretical maximum utilisation).
 //!
+//! For search loops that evaluate thousands of DLSAs against one frozen
+//! plan, [`compiled`] hoists every plan-invariant quantity out of the
+//! loop: [`CompiledPlan`] precomputes tile costs, tensor durations, the
+//! load-gate CSR table and the energy split once, and
+//! [`CompiledPlan::simulate_cost`] replays the queues with zero heap
+//! allocation against a re-usable [`SimScratch`].
+//!
 //! ```
 //! use soma_arch::HardwareConfig;
 //! use soma_core::{Encoding, Lfa, ParsedSchedule};
@@ -27,12 +34,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod compiled;
 pub mod core_array;
 pub mod gantt;
 pub mod report;
 pub mod stall;
 pub mod timeline;
 
+pub use compiled::{CompiledPlan, SimScratch};
 pub use core_array::{CoreArrayModel, TileCost};
 pub use gantt::render_gantt;
 pub use report::{evaluate, evaluate_parts, evaluate_with_model, EnergyBreakdown, EvalReport};

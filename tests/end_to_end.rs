@@ -26,6 +26,34 @@ fn ci_smoke() {
     assert_eq!(out.best.cost, again.best.cost);
 }
 
+/// Correctness gate for the compiled evaluation engine (cheap, no
+/// timing, cannot flake): on fig2 the compiled cost-only path and the
+/// naive full-report path must produce bit-identical costs and reports.
+#[test]
+fn ci_smoke_compiled_engine_matches_naive_on_fig2() {
+    use soma::search::{CostWeights, Objective};
+    use soma::sim::{evaluate_parts, CoreArrayModel, SimScratch};
+
+    let net = zoo::fig2(1);
+    let hw = HardwareConfig::edge();
+    let mut obj = Objective::new(&net, &hw, CostWeights::default());
+    for (lfa, label) in [(Lfa::unfused(&net, 4), "unfused"), (Lfa::fully_fused(&net, 4), "fused")] {
+        // Objective level: full vs cost-only, bit-identical.
+        let (full_cost, plan, dlsa, report) = obj.eval_lfa(&lfa, hw.buffer_bytes).unwrap();
+        let fast_cost = obj.eval_lfa_cost(&lfa, hw.buffer_bytes).unwrap();
+        assert_eq!(full_cost.to_bits(), fast_cost.to_bits(), "{label}: cost");
+
+        // Engine level: compiled report vs naive report, field for field.
+        let mut model = CoreArrayModel::new(&hw);
+        let compiled = soma::sim::CompiledPlan::compile(&net, &plan, &hw, &mut model);
+        let mut scratch = SimScratch::new();
+        let engine_report = compiled.report(&plan, &dlsa, &mut scratch).unwrap();
+        let naive_report = evaluate_parts(&net, &plan, &dlsa, &hw, &mut model).unwrap();
+        assert_eq!(engine_report, naive_report, "{label}: report");
+        assert_eq!(engine_report, report, "{label}: objective report");
+    }
+}
+
 #[test]
 fn full_pipeline_on_fig2() {
     let net = zoo::fig2(1);
