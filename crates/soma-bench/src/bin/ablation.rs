@@ -11,21 +11,26 @@
 //!   Sec. VII-B1 second lesson).
 //! * `full` — the complete framework.
 //!
-//! CSV columns: `workload,batch,variant,latency_cycles,energy_pj,cost`.
+//! CSV columns: `scenario,workload,batch,variant,latency_cycles,energy_pj,`
+//! `cost`, keyed by registry scenario id (the study runs on `@edge`).
 
 use soma_arch::HardwareConfig;
-use soma_bench::{salt, RunConfig};
+use soma_bench::{salt, scenario_key, RunConfig};
 use soma_model::zoo;
 use soma_search::{Scheduler, SearchConfig};
 
 fn main() {
     let rc = RunConfig::from_env_or_exit();
     let hw = HardwareConfig::edge();
-    println!("workload,batch,variant,latency_cycles,energy_pj,cost");
+    println!("scenario,workload,batch,variant,latency_cycles,energy_pj,cost");
 
     for batch in [1u32, 4] {
         for net in [zoo::resnet50(batch), zoo::gpt2_small_prefill(batch, 512)] {
             let name = net.name().to_string();
+            let scenario = scenario_key(&hw, &name, batch);
+            if !rc.selects_id(&scenario) {
+                continue;
+            }
             let base = rc.config_for(&net, salt(&["ablation", &name, &batch.to_string()]));
 
             let cocco = Scheduler::cocco(&net, &hw).config(base.clone()).run().best;
@@ -65,11 +70,11 @@ fn main() {
                 ),
             ];
             for (variant, lat, e, c) in &rows {
-                println!("{name},{batch},{variant},{lat},{e:.1},{c:.6e}");
+                println!("{scenario},{name},{batch},{variant},{lat},{e:.1},{c:.6e}");
             }
             let full_cost = rows.last().expect("rows non-empty").3;
             eprintln!(
-                "[ablation] {name} b{batch}: full vs cocco {:.2}x cost, vs linked {:.2}x, vs no-alloc {:.2}x",
+                "[ablation] {scenario}: full vs cocco {:.2}x cost, vs linked {:.2}x, vs no-alloc {:.2}x",
                 rows[0].3 / full_cost,
                 rows[3].3 / full_cost,
                 rows[2].3 / full_cost

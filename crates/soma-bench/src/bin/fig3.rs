@@ -2,14 +2,15 @@
 //! (a, b) and per Cocco-scheduled tile (c, d), for ResNet-50 and
 //! Transformer-Large on the default edge accelerator at batch 1.
 //!
-//! CSV columns: `panel,workload,item,dram_norm,ops_norm`.
+//! CSV columns: `panel,scenario,item,dram_norm,ops_norm`, keyed by the
+//! registry scenario id (both panels run on `@edge/b1`).
 //! The paper's observation to reproduce: the per-tile clouds (c, d) are
 //! *more spread out* than the per-layer clouds (a, b) — fusion
 //! concentrates DRAM demand on weight-loading tiles and leaves many tiles
 //! with zero DRAM demand.
 
 use soma_arch::HardwareConfig;
-use soma_bench::{salt, RunConfig};
+use soma_bench::{salt, scenario_key, RunConfig};
 use soma_core::parse_lfa;
 use soma_model::stats::{layer_stats, normalize, std_dev};
 use soma_model::zoo;
@@ -18,10 +19,11 @@ use soma_search::Scheduler;
 fn main() {
     let rc = RunConfig::from_env_or_exit();
     let hw = HardwareConfig::edge();
-    println!("panel,workload,item,dram_norm,ops_norm");
+    println!("panel,scenario,item,dram_norm,ops_norm");
 
-    let nets =
-        [("resnet50", zoo::resnet50(1)), ("transformer-large", zoo::transformer_large(1, 512))];
+    let nets = [zoo::resnet50(1), zoo::transformer_large(1, 512)];
+    let nets: Vec<(String, &soma_model::Network)> =
+        nets.iter().map(|n| (scenario_key(&hw, n.name(), 1), n)).collect();
     for (idx, (name, net)) in nets.iter().enumerate() {
         // Panels (a)/(b): per-layer.
         let stats = layer_stats(net);

@@ -1,27 +1,36 @@
 //! Fig. 6: overall comparison of Cocco vs SoMa stage 1 (`Ours_1`) vs
 //! SoMa stage 2 (`Ours_2`) across workloads, platforms and batch sizes.
 //!
-//! CSV columns: `platform,workload,batch,scheme,latency_cycles,`
+//! CSV columns: `scenario,platform,workload,batch,scheme,latency_cycles,`
 //! `core_energy_pj,dram_energy_pj,compute_util,dram_util,`
 //! `theoretical_max_util,avg_buffer_bytes,peak_buffer_bytes,`
 //! `lgs,flgs,tiles,dram_tensors` (scheme shape, consumed by the `stats`
-//! binary).
+//! binary). Rows are keyed by the registry scenario id
+//! (`<workload>@<preset>/b<batch>`), which is also what `SOMA_WORKLOAD`
+//! filters against.
 //!
 //! Environment: `SOMA_FULL=1` sweeps batches {1,4,16,64} (paper grid),
 //! `SOMA_EFFORT` scales search effort, `SOMA_THREADS` caps parallelism.
 
 use std::sync::Mutex;
 
-use soma_bench::{platforms, salt, workloads, RunConfig};
+use soma_bench::{platforms, salt, scenario_key, workloads, RunConfig};
 use soma_core::parse_lfa;
 use soma_model::Network;
 use soma_search::{Evaluated, Scheduler};
 
-fn row(platform: &str, net: &Network, batch: u32, scheme: &str, e: &Evaluated) -> String {
+fn row(
+    scenario: &str,
+    platform: &str,
+    net: &Network,
+    batch: u32,
+    scheme: &str,
+    e: &Evaluated,
+) -> String {
     let r = &e.report;
     let plan = parse_lfa(net, &e.encoding.lfa).expect("reported scheme parses");
     format!(
-        "{platform},{},{batch},{scheme},{},{:.1},{:.1},{:.6},{:.6},{:.6},{},{},{},{},{},{}",
+        "{scenario},{platform},{},{batch},{scheme},{},{:.1},{:.1},{:.6},{:.6},{:.6},{},{},{},{},{},{}",
         net.name(),
         r.latency_cycles,
         r.energy.core_pj,
@@ -41,13 +50,15 @@ fn row(platform: &str, net: &Network, batch: u32, scheme: &str, e: &Evaluated) -
 fn main() {
     let rc = RunConfig::from_env_or_exit();
     println!(
-        "platform,workload,batch,scheme,latency_cycles,core_energy_pj,dram_energy_pj,\
+        "scenario,platform,workload,batch,scheme,latency_cycles,core_energy_pj,dram_energy_pj,\
          compute_util,dram_util,theoretical_max_util,avg_buffer_bytes,peak_buffer_bytes,\
          lgs,flgs,tiles,dram_tensors"
     );
 
-    // Build the work list: one cell per (platform, batch, workload).
+    // Build the work list: one cell per (platform, batch, workload),
+    // keyed and filtered by registry scenario id.
     struct Cell {
+        scenario: String,
         platform: soma_arch::HardwareConfig,
         batch: u32,
         net: soma_model::Network,
@@ -56,8 +67,9 @@ fn main() {
     for platform in platforms() {
         for batch in rc.batch_sizes() {
             for net in workloads(&platform, batch) {
-                if rc.selects(&net) {
-                    cells.push(Cell { platform: platform.clone(), batch, net });
+                let scenario = scenario_key(&platform, net.name(), batch);
+                if rc.selects_id(&scenario) {
+                    cells.push(Cell { scenario, platform: platform.clone(), batch, net });
                 }
             }
         }
@@ -84,16 +96,21 @@ fn main() {
                 for (scheme, e) in
                     [("cocco", &cocco), ("ours_1", &soma.stage1), ("ours_2", &soma.best)]
                 {
-                    rows.push_str(&row(&cell.platform.name, &cell.net, cell.batch, scheme, e));
+                    rows.push_str(&row(
+                        &cell.scenario,
+                        &cell.platform.name,
+                        &cell.net,
+                        cell.batch,
+                        scheme,
+                        e,
+                    ));
                     rows.push('\n');
                 }
                 let _guard = out.lock().expect("stdout lock");
                 print!("{rows}");
                 eprintln!(
-                    "[fig6] {} {} b{}: speedup {:.2}x (stage1 {:.2}x), energy -{:.1}%",
-                    cell.platform.name,
-                    name,
-                    cell.batch,
+                    "[fig6] {}: speedup {:.2}x (stage1 {:.2}x), energy -{:.1}%",
+                    cell.scenario,
                     cocco.report.latency_cycles as f64 / soma.best.report.latency_cycles as f64,
                     cocco.report.latency_cycles as f64 / soma.stage1.report.latency_cycles as f64,
                     100.0

@@ -2,8 +2,10 @@
 //! the 16-TOPS edge accelerator, per workload and batch size, for both
 //! Cocco and SoMa.
 //!
-//! CSV columns: `scheduler,workload,batch,buffer_mib,dram_gbps,`
-//! `latency_cycles,latency_ms`.
+//! CSV columns: `scenario,scheduler,workload,batch,buffer_mib,dram_gbps,`
+//! `latency_cycles,latency_ms`. The scenario key names the *resolved*
+//! sweep platform (`resnet50@edge-8MB-32GBps/b4`); `SOMA_WORKLOAD`
+//! filters against it, so `@edge-8MB` selects one buffer size.
 //!
 //! The paper's insights to reproduce: at batch 1 latency tracks bandwidth
 //! and barely responds to buffer size; as batch grows, buffer size
@@ -16,7 +18,7 @@
 use std::sync::Mutex;
 
 use soma_arch::HardwareConfig;
-use soma_bench::{salt, RunConfig};
+use soma_bench::{salt, scenario_key, RunConfig};
 use soma_model::zoo;
 use soma_search::Scheduler;
 
@@ -32,10 +34,12 @@ fn main() {
     let rc = RunConfig::from_env_or_exit();
     let (buffers, bandwidths) = grids(&rc);
 
-    println!("scheduler,workload,batch,buffer_mib,dram_gbps,latency_cycles,latency_ms");
+    println!("scenario,scheduler,workload,batch,buffer_mib,dram_gbps,latency_cycles,latency_ms");
 
     struct Cell {
+        scenario: String,
         net: soma_model::Network,
+        hw: HardwareConfig,
         batch: u32,
         mib: u64,
         gbps: f64,
@@ -43,12 +47,20 @@ fn main() {
     let mut cells = Vec::new();
     for batch in rc.batch_sizes() {
         for net in zoo::edge_suite(batch) {
-            if !rc.selects(&net) {
-                continue;
-            }
             for &mib in &buffers {
                 for &gbps in &bandwidths {
-                    cells.push(Cell { net: net.clone(), batch, mib, gbps });
+                    // Built once: the same config names the scenario key
+                    // and runs the cell, so the two can never diverge.
+                    let hw = HardwareConfig::builder()
+                        .like(&HardwareConfig::edge())
+                        .name(format!("edge-{mib}MB-{gbps}GBps"))
+                        .buffer_mib(mib)
+                        .dram_gbps(gbps)
+                        .build();
+                    let scenario = scenario_key(&hw, net.name(), batch);
+                    if rc.selects_id(&scenario) {
+                        cells.push(Cell { scenario, net: net.clone(), hw, batch, mib, gbps });
+                    }
                 }
             }
         }
@@ -63,12 +75,7 @@ fn main() {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let hw = HardwareConfig::builder()
-                    .like(&HardwareConfig::edge())
-                    .name(format!("edge-{}MB-{}GBps", cell.mib, cell.gbps))
-                    .buffer_mib(cell.mib)
-                    .dram_gbps(cell.gbps)
-                    .build();
+                let hw = &cell.hw;
                 let name = cell.net.name().to_string();
                 let cfg = rc.config_for(
                     &cell.net,
@@ -80,15 +87,16 @@ fn main() {
                         &cell.gbps.to_string(),
                     ]),
                 );
-                let cocco = Scheduler::cocco(&cell.net, &hw).config(cfg.clone()).run().best;
-                let soma = Scheduler::new(&cell.net, &hw).config(cfg).run();
+                let cocco = Scheduler::cocco(&cell.net, hw).config(cfg.clone()).run().best;
+                let soma = Scheduler::new(&cell.net, hw).config(cfg).run();
                 let mut rows = String::new();
                 for (scheduler, cycles) in [
                     ("cocco", cocco.report.latency_cycles),
                     ("soma", soma.best.report.latency_cycles),
                 ] {
                     rows.push_str(&format!(
-                        "{scheduler},{name},{},{},{},{},{:.4}\n",
+                        "{},{scheduler},{name},{},{},{},{},{:.4}\n",
+                        cell.scenario,
                         cell.batch,
                         cell.mib,
                         cell.gbps,
@@ -98,7 +106,7 @@ fn main() {
                 }
                 let _guard = out.lock().expect("stdout lock");
                 print!("{rows}");
-                eprintln!("[fig7] {name} b{} {}MB {}GB/s done", cell.batch, cell.mib, cell.gbps);
+                eprintln!("[fig7] {} done", cell.scenario);
             });
         }
     });

@@ -8,7 +8,7 @@
 //! (the positional argument wins).
 
 use soma_arch::HardwareConfig;
-use soma_bench::{salt, RunConfig};
+use soma_bench::{salt, scenario_key, RunConfig};
 use soma_core::ParsedSchedule;
 use soma_model::zoo;
 use soma_search::{Evaluated, Scheduler};
@@ -42,14 +42,21 @@ fn main() {
         .nth(1)
         .or_else(|| (!rc.workload.is_empty()).then(|| rc.workload.clone()))
         .unwrap_or_else(|| "resnet".into());
+    // Same matching contract as every other binary: case-insensitive
+    // substring (`RunConfig::selects_id`) over the workload name.
     let net = zoo::edge_suite(1)
         .into_iter()
-        .find(|n| n.name().contains(&pick))
-        .unwrap_or_else(|| zoo::chain(1, 64, 56, 8));
+        .find(|n| n.name().to_ascii_lowercase().contains(&pick.to_ascii_lowercase()))
+        .unwrap_or_else(|| {
+            eprintln!("[fig8] no edge-suite workload matches `{pick}`; using the chain demo");
+            zoo::chain(1, 64, 56, 8)
+        });
     let hw = HardwareConfig::edge();
     let cfg = rc.config_for(&net, salt(&["fig8", net.name()]));
+    let scenario = scenario_key(&hw, net.name(), 1);
 
-    eprintln!("[fig8] scheduling {} (effort {:.3})...", net.name(), cfg.effort);
+    println!("scenario: {scenario}");
+    eprintln!("[fig8] scheduling {scenario} (effort {:.3})...", cfg.effort);
     let cocco = Scheduler::cocco(&net, &hw).config(cfg.clone()).run().best;
     let soma = Scheduler::new(&net, &hw).config(cfg).run();
 

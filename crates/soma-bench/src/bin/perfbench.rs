@@ -145,7 +145,7 @@ fn stage1_walk(
 
 fn json_row(
     out: &mut String,
-    network: &str,
+    scenario: &str,
     stage: &str,
     seed: u64,
     proposals: u64,
@@ -159,7 +159,7 @@ fn json_row(
     };
     let _ = write!(
         out,
-        "    {{\"network\": \"{network}\", \"stage\": \"{stage}\", \"seed\": {seed}, \
+        "    {{\"scenario\": \"{scenario}\", \"stage\": \"{stage}\", \"seed\": {seed}, \
          \"proposals\": {proposals}, \
          \"naive\": {{\"evals\": {}, \"elapsed_s\": {:.6}, \"evals_per_sec\": {:.1}}}, \
          \"engine\": {{\"evals\": {}, \"elapsed_s\": {:.6}, \"evals_per_sec\": {:.1}}}, \
@@ -173,7 +173,7 @@ fn json_row(
         speedup
     );
     eprintln!(
-        "[perfbench] {network:<12} {stage:<5} seed {seed}: naive {:>9.1} evals/s, \
+        "[perfbench] {scenario:<20} {stage:<5} seed {seed}: naive {:>9.1} evals/s, \
          engine {:>9.1} evals/s, speedup {:.2}x",
         naive.evals_per_sec(),
         engine.evals_per_sec(),
@@ -191,7 +191,10 @@ fn main() {
 
     let mut rows: Vec<String> = Vec::new();
     for (name, net) in &nets {
-        if !rc.selects(net) {
+        // Rows are keyed by registry scenario id (the probe runs on
+        // `@edge/b1`), which is also what `SOMA_WORKLOAD` matches.
+        let scenario = soma_bench::scenario_key(&hw, net.name(), 1);
+        if !rc.selects_id(&scenario) {
             continue;
         }
         let probe_lfa = initial_lfa(net, &hw);
@@ -212,7 +215,7 @@ fn main() {
                 "{name} seed {seed}: engine diverged from naive walk"
             );
             let mut row = String::new();
-            json_row(&mut row, name, "dlsa", seed, s2_proposals, &naive, &engine);
+            json_row(&mut row, &scenario, "dlsa", seed, s2_proposals, &naive, &engine);
             rows.push(row);
 
             // Stage 1: dominated by parsing either way; the engine only
@@ -225,7 +228,7 @@ fn main() {
                 "{name} seed {seed}: stage-1 engine diverged"
             );
             let mut row = String::new();
-            json_row(&mut row, name, "lfa", seed, s1_proposals, &naive, &engine);
+            json_row(&mut row, &scenario, "lfa", seed, s1_proposals, &naive, &engine);
             rows.push(row);
         }
     }

@@ -1,0 +1,102 @@
+//! Executes a committed `.soma` experiment file end-to-end: spec in,
+//! CSV results out — the declarative replacement for hand-editing a
+//! figure binary.
+//!
+//! ```sh
+//! cargo run --release -p soma-bench --bin run -- specs/fig2_edge.soma
+//! ```
+//!
+//! CSV columns (stdout; commentary on stderr):
+//! `scenario,workload,platform,batch,scheme,latency_cycles,energy_pj,`
+//! `cost,evals,rejected,lgs,flgs,tiles,dram_tensors` — one `ours_1` and
+//! one `ours_2` row per cell, keyed by registry scenario id.
+//!
+//! The run is exactly reproducible from the spec file alone: every knob
+//! (workloads, platforms, batches, seeds, search configuration) lives in
+//! the spec, and each cell runs the same `Scheduler` pipeline a
+//! hand-written driver would (`ci_smoke` pins this bit-for-bit). Of the
+//! shared `SOMA_*` knob surface only the `SOMA_WORKLOAD` scenario-id
+//! filter applies on top; knobs the spec supersedes (`SOMA_EFFORT`,
+//! `SOMA_SEED`, `SOMA_FULL`, `SOMA_THREADS`) are ignored with a warning.
+
+use soma_bench::{run_cells, RunConfig};
+use soma_core::parse_lfa;
+use soma_search::Evaluated;
+use soma_spec::read_experiment;
+
+fn row(cell: &soma_spec::ExperimentCell, scheme: &str, e: &Evaluated, evals: u64, rejected: u64) {
+    let plan = parse_lfa(&cell.net, &e.encoding.lfa).expect("reported scheme parses");
+    println!(
+        "{},{},{},{},{scheme},{},{:.1},{:.6e},{evals},{rejected},{},{},{},{}",
+        cell.id,
+        cell.workload,
+        cell.platform,
+        cell.batch,
+        e.report.latency_cycles,
+        e.report.energy.total_pj(),
+        e.cost,
+        plan.n_lgs(),
+        plan.flgs.len(),
+        plan.tiles.len(),
+        plan.dram_tensors.len()
+    );
+}
+
+fn main() {
+    let rc = RunConfig::from_env_or_exit();
+    // The spec file owns the search configuration; of the shared knob
+    // surface only `SOMA_WORKLOAD` applies here. Knobs that a spec
+    // supersedes are *loudly* ignored — no silent defaults.
+    for knob in ["SOMA_EFFORT", "SOMA_SEED", "SOMA_FULL", "SOMA_THREADS"] {
+        if std::env::var_os(knob).is_some() {
+            eprintln!("run: ignoring {knob} — the spec file owns the search configuration");
+        }
+    }
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: run <experiment.soma>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("run: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = read_experiment(&text).unwrap_or_else(|e| {
+        eprintln!("run: {path}: {e}");
+        std::process::exit(2);
+    });
+
+    // The scenario-id filter composes with the spec: a spec names the
+    // full grid, `SOMA_WORKLOAD` narrows one invocation.
+    let all = spec.cells();
+    let before = all.len();
+    let cells: Vec<_> = all.into_iter().filter(|c| rc.selects_id(&c.id)).collect();
+    if cells.is_empty() {
+        eprintln!(
+            "run: {path}: no cells left (spec had {before}, SOMA_WORKLOAD={:?})",
+            rc.workload
+        );
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "[run] {}: {} cell(s), {} seed(s), effort {}",
+        spec.name,
+        cells.len(),
+        spec.seeds.len(),
+        spec.config.effort
+    );
+    println!(
+        "scenario,workload,platform,batch,scheme,latency_cycles,energy_pj,cost,evals,rejected,\
+         lgs,flgs,tiles,dram_tensors"
+    );
+    let rows = run_cells(cells, &spec.config, &spec.seeds, |cell, out| {
+        eprintln!(
+            "[run] {}: best cost {:.3e}, latency {} cycles, {} evals",
+            cell.id, out.best.cost, out.best.report.latency_cycles, out.evals
+        );
+    });
+    for r in &rows {
+        row(&r.cell, "ours_1", &r.outcome.stage1, r.outcome.evals, r.outcome.rejected);
+        row(&r.cell, "ours_2", &r.outcome.best, r.outcome.evals, r.outcome.rejected);
+    }
+}

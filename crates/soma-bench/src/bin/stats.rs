@@ -28,25 +28,34 @@ fn main() {
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {path}: {e}; run the fig6 binary first"));
 
-    // cell key = (platform, workload, batch) -> scheme -> row
+    // Refuse stale CSVs outright (same philosophy as the env knobs: no
+    // silent defaults): the fig6 format is scenario-keyed since PR 4.
+    let header = text.lines().next().unwrap_or("");
+    assert!(
+        header.starts_with("scenario,platform,workload,batch,scheme,"),
+        "{path} has an unexpected header ({header:?}); regenerate it with the current fig6 binary"
+    );
+
+    // cell key = scenario id (fig6 column 0) -> scheme -> row; the
+    // workload/batch columns are still read for the decode analysis.
     let mut cells: BTreeMap<(String, String, u32), BTreeMap<String, Row>> = BTreeMap::new();
     for line in text.lines().skip(1) {
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() < 16 {
+        if f.len() < 17 {
             continue;
         }
-        let key = (f[0].to_string(), f[1].to_string(), f[2].parse().unwrap_or(0));
+        let key = (f[0].to_string(), f[2].to_string(), f[3].parse().unwrap_or(0));
         let row = Row {
-            latency: f[4].parse().unwrap_or(0.0),
-            core_pj: f[5].parse().unwrap_or(0.0),
-            dram_pj: f[6].parse().unwrap_or(0.0),
-            util: f[7].parse().unwrap_or(0.0),
-            theo: f[9].parse().unwrap_or(0.0),
-            lgs: f[12].parse().unwrap_or(0.0),
-            flgs: f[13].parse().unwrap_or(0.0),
-            tiles: f[14].parse().unwrap_or(0.0),
+            latency: f[5].parse().unwrap_or(0.0),
+            core_pj: f[6].parse().unwrap_or(0.0),
+            dram_pj: f[7].parse().unwrap_or(0.0),
+            util: f[8].parse().unwrap_or(0.0),
+            theo: f[10].parse().unwrap_or(0.0),
+            lgs: f[13].parse().unwrap_or(0.0),
+            flgs: f[14].parse().unwrap_or(0.0),
+            tiles: f[15].parse().unwrap_or(0.0),
         };
-        cells.entry(key).or_default().insert(f[3].to_string(), row);
+        cells.entry(key).or_default().insert(f[4].to_string(), row);
     }
 
     let mut speedup1 = Vec::new();
@@ -62,7 +71,7 @@ fn main() {
     let mut cocco_tiles = Vec::new();
     let mut decode_util: Vec<(String, u32, f64)> = Vec::new();
 
-    for ((_, workload, batch), schemes) in &cells {
+    for ((_scenario, workload, batch), schemes) in &cells {
         let (Some(c), Some(s1), Some(s2)) =
             (schemes.get("cocco"), schemes.get("ours_1"), schemes.get("ours_2"))
         else {

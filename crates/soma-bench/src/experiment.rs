@@ -1,0 +1,76 @@
+//! Executes a parsed [`ExperimentSpec`]: one [`Scheduler`] portfolio run
+//! per cell, in cell order, deterministically — the engine behind
+//! `soma-bench --bin run` and the `ci_smoke` spec-reproduction gate.
+//!
+//! A cell's result is **exactly** what the equivalent hand-written
+//! driver produces: `Scheduler::new(&cell.net, &cell.hw)
+//! .config(spec.config.clone()).seeds(spec.seeds.clone()).run()` — no
+//! hidden seed salting, no effort rescaling. A committed `.soma` file
+//! plus this function *is* the run configuration.
+
+use soma_search::{Scheduler, SearchConfig, SearchOutcome};
+use soma_spec::{ExperimentCell, ExperimentSpec};
+
+/// One executed experiment cell.
+#[derive(Debug)]
+pub struct ExperimentRow {
+    /// The resolved cell (scenario id, network, platform).
+    pub cell: ExperimentCell,
+    /// The search outcome of the cell's seed portfolio.
+    pub outcome: SearchOutcome,
+}
+
+/// Runs every cell of the experiment in order, invoking `progress` after
+/// each finished cell. Deterministic: same spec text, same results.
+pub fn run_experiment(
+    spec: &ExperimentSpec,
+    progress: impl FnMut(&ExperimentCell, &SearchOutcome),
+) -> Vec<ExperimentRow> {
+    run_cells(spec.cells(), &spec.config, &spec.seeds, progress)
+}
+
+/// Runs an explicit cell list (e.g. an experiment narrowed by the
+/// `SOMA_WORKLOAD` filter) under one configuration and seed portfolio.
+pub fn run_cells(
+    cells: Vec<ExperimentCell>,
+    config: &SearchConfig,
+    seeds: &[u64],
+    mut progress: impl FnMut(&ExperimentCell, &SearchOutcome),
+) -> Vec<ExperimentRow> {
+    cells
+        .into_iter()
+        .map(|cell| {
+            let outcome = Scheduler::new(&cell.net, &cell.hw)
+                .config(config.clone())
+                .seeds(seeds.iter().copied())
+                .run();
+            progress(&cell, &outcome);
+            ExperimentRow { cell, outcome }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soma_search::SearchConfig;
+    use soma_spec::read_experiment;
+
+    #[test]
+    fn spec_run_equals_hand_written_driver() {
+        let text = "soma-experiment v1\nname t\nscenario fig2@edge/b1\nseeds 7\neffort 0.01\nend\n";
+        let spec = read_experiment(text).unwrap();
+        let rows = run_experiment(&spec, |_, _| {});
+        assert_eq!(rows.len(), 1);
+
+        let net = soma_model::zoo::fig2(1);
+        let hw = soma_arch::HardwareConfig::edge();
+        let cfg = SearchConfig { effort: 0.01, seed: 7, ..SearchConfig::default() };
+        let direct = Scheduler::new(&net, &hw).config(cfg).run();
+        let got = &rows[0].outcome;
+        assert_eq!(got.best.encoding, direct.best.encoding);
+        assert_eq!(got.best.report, direct.best.report);
+        assert_eq!(got.best.cost.to_bits(), direct.best.cost.to_bits());
+        assert_eq!(got.evals, direct.evals);
+    }
+}

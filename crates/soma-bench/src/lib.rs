@@ -14,8 +14,10 @@
 //!   per-configuration seed, as in the paper's artifact).
 //! * `SOMA_THREADS` — worker thread count (default: available
 //!   parallelism).
-//! * `SOMA_WORKLOAD` — workload-name substring filter (binaries that
-//!   sweep a suite skip non-matching networks).
+//! * `SOMA_WORKLOAD` — case-insensitive substring filter over scenario
+//!   ids (`<workload>@<platform>/b<batch>`), so `resnet` filters
+//!   workloads, `@edge` platforms and `/b4` batch sizes; binaries that
+//!   sweep a suite skip non-matching scenarios.
 //!
 //! Unparseable values are a **hard error** — a typo'd knob aborts the run
 //! instead of silently falling back to a default and producing a
@@ -23,12 +25,18 @@
 //! read `std::env` (CI lints the rest), so a `RunConfig` value *is* the
 //! complete run configuration and can be logged next to the results.
 
+pub mod experiment;
+
+pub use experiment::{run_cells, run_experiment, ExperimentRow};
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use soma_arch::HardwareConfig;
 use soma_model::Network;
 use soma_search::SearchConfig;
+use soma_spec::registry::{suite, Scenario};
+use soma_spec::Preset;
 
 /// A `SOMA_*` environment variable that failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,7 +87,9 @@ pub struct RunConfig {
     pub full: bool,
     /// Worker thread count (`SOMA_THREADS`).
     pub threads: usize,
-    /// Workload-name substring filter (`SOMA_WORKLOAD`, empty = all).
+    /// Scenario-id substring filter (`SOMA_WORKLOAD`, empty = all;
+    /// case-insensitive, matched against `<workload>@<platform>/b<batch>`
+    /// registry ids and against bare workload names).
     pub workload: String,
 }
 
@@ -112,7 +122,7 @@ impl RunConfig {
         if let Some(v) = parse_var::<usize>("SOMA_THREADS", "a thread count >= 1")? {
             rc.threads = v.max(1);
         }
-        if let Some(v) = parse_var::<String>("SOMA_WORKLOAD", "a workload-name substring")? {
+        if let Some(v) = parse_var::<String>("SOMA_WORKLOAD", "a scenario-id substring")? {
             rc.workload = v;
         }
         Ok(rc)
@@ -162,9 +172,20 @@ impl RunConfig {
         }
     }
 
-    /// Whether a network passes the `workload` substring filter.
+    /// Whether a network passes the `workload` substring filter
+    /// (matched against the bare network name; see
+    /// [`selects_id`](Self::selects_id) for full scenario-id matching).
     pub fn selects(&self, net: &Network) -> bool {
-        self.workload.is_empty() || net.name().contains(&self.workload)
+        self.selects_id(net.name())
+    }
+
+    /// Whether a scenario id (or any name fragment) passes the
+    /// `workload` filter: a **case-insensitive substring** match, so
+    /// `resnet` selects both ResNet variants, `@edge` selects every
+    /// edge-platform scenario and `/b4` one batch size.
+    pub fn selects_id(&self, id: &str) -> bool {
+        self.workload.is_empty()
+            || id.to_ascii_lowercase().contains(&self.workload.to_ascii_lowercase())
     }
 }
 
@@ -173,13 +194,23 @@ pub fn platforms() -> Vec<HardwareConfig> {
     vec![HardwareConfig::edge(), HardwareConfig::cloud()]
 }
 
-/// Workloads for a platform (paper Fig. 6): edge runs GPT-2-Small(512),
-/// cloud runs GPT-2-XL(1024).
+/// Workloads for a platform (paper Fig. 6), resolved through the
+/// scenario registry: edge-derived platforms run the edge suite
+/// (GPT-2-Small at 512 tokens), everything else the cloud suite
+/// (GPT-2-XL at 1024).
 pub fn workloads(platform: &HardwareConfig, batch: u32) -> Vec<Network> {
-    if platform.name.starts_with("edge") {
-        soma_model::zoo::edge_suite(batch)
-    } else {
-        soma_model::zoo::cloud_suite(batch)
+    let preset = Preset::of(platform).unwrap_or(Preset::Cloud);
+    suite(preset, batch).iter().map(Scenario::network).collect()
+}
+
+/// The registry key for one harness output row: the stable scenario id
+/// when `platform` *is* a registry preset, otherwise the same shape with
+/// the resolved platform name (e.g. a fig7 sweep point
+/// `resnet50@edge-8MB-32GBps/b4`).
+pub fn scenario_key(platform: &HardwareConfig, workload: &str, batch: u32) -> String {
+    match Preset::of(platform) {
+        Some(p) if p.config() == *platform => soma_spec::scenario_id(workload, p, batch),
+        _ => format!("{workload}@{}/b{batch}", platform.name),
     }
 }
 
@@ -236,6 +267,39 @@ mod tests {
         assert!(rc.selects(&zoo::fig2(1)));
         assert!(!rc.selects(&zoo::fig4(1)));
         assert!(RunConfig::default().selects(&zoo::fig4(1)));
+    }
+
+    #[test]
+    fn workload_filter_is_case_insensitive() {
+        let rc = RunConfig { workload: "ResNet".into(), ..RunConfig::default() };
+        assert!(rc.selects(&zoo::resnet50(1)));
+        assert!(rc.selects_id("resnet101@cloud/b4"));
+        assert!(!rc.selects(&zoo::fig2(1)));
+    }
+
+    #[test]
+    fn workload_filter_matches_scenario_id_parts() {
+        let edge = RunConfig { workload: "@edge".into(), ..RunConfig::default() };
+        assert!(edge.selects_id("fig2@edge/b1"));
+        assert!(!edge.selects_id("fig2@cloud/b1"));
+        let b4 = RunConfig { workload: "/b4".into(), ..RunConfig::default() };
+        assert!(b4.selects_id("fig2@edge/b4"));
+        assert!(!b4.selects_id("fig2@edge/b1"));
+    }
+
+    #[test]
+    fn scenario_keys_use_registry_ids_for_presets() {
+        let edge = HardwareConfig::edge();
+        assert_eq!(scenario_key(&edge, "resnet50", 4), "resnet50@edge/b4");
+        let swept = HardwareConfig::builder()
+            .like(&edge)
+            .name("edge-8MB-32GBps")
+            .buffer_mib(8)
+            .dram_gbps(32.0)
+            .build();
+        // A derived sweep point is not the registry preset: keyed by its
+        // resolved name instead.
+        assert_eq!(scenario_key(&swept, "resnet50", 4), "resnet50@edge-8MB-32GBps/b4");
     }
 
     #[test]

@@ -120,6 +120,13 @@ impl Network {
         &self.consumers[id.index()]
     }
 
+    /// The *declared* network outputs, in declaration order (layers
+    /// without consumers are additionally outputs implicitly — see
+    /// [`is_output`](Self::is_output)).
+    pub fn outputs(&self) -> &[LayerId] {
+        &self.outputs
+    }
+
     /// Whether `id` is a network output (declared, or has no consumers).
     pub fn is_output(&self, id: LayerId) -> bool {
         self.outputs.contains(&id) || self.consumers[id.index()].is_empty()

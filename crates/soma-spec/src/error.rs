@@ -1,0 +1,142 @@
+//! Spec parse errors, always located by line and column.
+
+/// An error while parsing a spec file. Every error carries the 1-based
+/// `line` and `col` of the offending token so a user can jump straight to
+/// it in an editor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// 1-based character column of the offending token.
+    pub col: usize,
+    /// What went wrong, in terms of the grammar.
+    pub msg: String,
+}
+
+impl SpecError {
+    /// Creates an error at the given position.
+    pub fn new(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        Self { line, col, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One whitespace-delimited token of a spec line, with its 1-based
+/// character column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Token<'a> {
+    pub line: usize,
+    pub col: usize,
+    pub text: &'a str,
+}
+
+impl<'a> Token<'a> {
+    /// An error pointing at this token.
+    pub fn err(&self, msg: impl Into<String>) -> SpecError {
+        SpecError::new(self.line, self.col, msg)
+    }
+
+    /// Parses the token's text, reporting the expected type on failure.
+    pub fn parse<T: std::str::FromStr>(&self, expected: &str) -> Result<T, SpecError> {
+        self.text.parse().map_err(|_| self.err(format!("expected {expected}, got `{}`", self.text)))
+    }
+}
+
+/// Splits a line into tokens with 1-based character columns. A `#` token
+/// starts a comment: it and everything after it is dropped.
+pub(crate) fn tokenize(line_no: usize, line: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let mut col = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (col, byte offset)
+    for (bytes, ch) in line.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((c, b)) = start.take() {
+                out.push(Token { line: line_no, col: c, text: &line[b..bytes] });
+            }
+        } else if start.is_none() {
+            start = Some((col, bytes));
+        }
+    }
+    if let Some((c, b)) = start {
+        out.push(Token { line: line_no, col: c, text: &line[b..] });
+    }
+    if let Some(pos) = out.iter().position(|t| t.text.starts_with('#')) {
+        out.truncate(pos);
+    }
+    out
+}
+
+/// Iterates over the non-empty, non-comment lines of `text` as token
+/// vectors, checking the `v1` header first. Returns the tokenized body
+/// lines (header excluded) or a located error.
+pub(crate) fn body_lines<'a>(
+    text: &'a str,
+    header: &str,
+) -> Result<Vec<Vec<Token<'a>>>, SpecError> {
+    let mut lines = Vec::new();
+    let mut saw_header = false;
+    for (i, raw) in text.lines().enumerate() {
+        let toks = tokenize(i + 1, raw);
+        if toks.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            if raw.trim() != header {
+                return Err(toks[0].err(format!("expected `{header}` header")));
+            }
+            saw_header = true;
+            continue;
+        }
+        lines.push(toks);
+    }
+    if !saw_header {
+        return Err(SpecError::new(1, 1, format!("expected `{header}` header")));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_tracks_columns() {
+        let toks = tokenize(3, "  conv c1  from x");
+        assert_eq!(toks.len(), 4);
+        assert_eq!((toks[0].col, toks[0].text), (3, "conv"));
+        assert_eq!((toks[1].col, toks[1].text), (8, "c1"));
+        assert_eq!((toks[2].col, toks[2].text), (12, "from"));
+        assert_eq!((toks[3].col, toks[3].text), (17, "x"));
+        assert_eq!(toks[3].line, 3);
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert!(tokenize(1, "# a comment").is_empty());
+        let toks = tokenize(1, "batch 1 # grid");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn header_is_checked() {
+        let err = body_lines("nope\n", "soma-network v1").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 1));
+        assert!(body_lines("", "soma-network v1").is_err());
+        let ok = body_lines("# c\nsoma-network v1\nname x\n", "soma-network v1").unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn display_has_line_and_column() {
+        let e = SpecError::new(4, 9, "boom");
+        assert_eq!(e.to_string(), "line 4, column 9: boom");
+    }
+}

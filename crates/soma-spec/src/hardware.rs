@@ -1,0 +1,416 @@
+//! The `soma-hardware v1` format: a named preset plus ordered field
+//! overrides.
+//!
+//! ```text
+//! soma-hardware v1
+//! preset edge
+//! name fat-edge
+//! buffer_mib 32
+//! dram_gbps 32
+//! end
+//! ```
+//!
+//! Overrides apply **in file order** on top of the preset, with the same
+//! semantics as [`soma_arch::HardwareConfigBuilder`]: `tops`, `cores` and
+//! `dram_gbps` re-derive dependent fields (PE-array split, vector lanes,
+//! GBUF/L0 budgets), while the raw fields (`macs_per_cycle`,
+//! `kc_parallel`, ...) set exactly one field. So `preset edge` +
+//! `buffer_mib 32` is "the edge platform with a 32 MiB GBUF", and putting
+//! `cores` *after* `tops` keeps the rebalance consistent, exactly as with
+//! the builder.
+
+use std::fmt::Write as _;
+
+use soma_arch::HardwareConfig;
+
+use crate::error::{body_lines, SpecError};
+
+/// A named hardware starting point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// The paper's edge platform: 16 TOPS, 8 MB GBUF, 16 GB/s DRAM.
+    Edge,
+    /// The paper's cloud platform: 128 TOPS, 32 MB GBUF, 128 GB/s DRAM.
+    Cloud,
+    /// The builder's defaults (edge-scale, named `custom`).
+    Custom,
+}
+
+impl Preset {
+    /// The spec/registry identifier (`edge`, `cloud`, `custom`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Preset::Edge => "edge",
+            Preset::Cloud => "cloud",
+            Preset::Custom => "custom",
+        }
+    }
+
+    /// Parses a spec/registry identifier.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "edge" => Some(Preset::Edge),
+            "cloud" => Some(Preset::Cloud),
+            "custom" => Some(Preset::Custom),
+            _ => None,
+        }
+    }
+
+    /// The preset's [`HardwareConfig`].
+    pub fn config(self) -> HardwareConfig {
+        match self {
+            Preset::Edge => HardwareConfig::edge(),
+            Preset::Cloud => HardwareConfig::cloud(),
+            Preset::Custom => HardwareConfig::builder().build(),
+        }
+    }
+
+    /// Recognises which preset a configuration *started from*, by the
+    /// naming convention of the presets (`edge-16tops`, `cloud-128tops`)
+    /// and of derived sweep points (`edge-8MB-32GBps`): the name's
+    /// leading `edge`/`cloud` tag.
+    pub fn of(hw: &HardwareConfig) -> Option<Self> {
+        if hw.name.starts_with("edge") {
+            Some(Preset::Edge)
+        } else if hw.name.starts_with("cloud") {
+            Some(Preset::Cloud)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One ordered override on top of a [`Preset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwField {
+    /// Configuration name (reports and scenario keys).
+    Name(String),
+    /// Clock frequency in Hz (raw field; set it *before* `tops`/
+    /// `dram_gbps`, whose conversions read it).
+    FreqHz(u64),
+    /// Peak TOPS (builder semantics: re-derives the PE-array split).
+    Tops(f64),
+    /// Core count (builder semantics: re-derives per-core parallelism).
+    Cores(u32),
+    /// GBUF capacity in MiB.
+    BufferMib(u64),
+    /// GBUF capacity in bytes.
+    BufferBytes(u64),
+    /// DRAM bandwidth in GB/s (builder semantics).
+    DramGbps(f64),
+    /// Raw field: MACs per cycle across all cores.
+    MacsPerCycle(u64),
+    /// Raw field: channel-parallel lanes per core.
+    KcParallel(u32),
+    /// Raw field: spatial positions per core.
+    SpatialParallel(u32),
+    /// Raw field: vector-unit elements per cycle.
+    VectorLanes(u64),
+    /// Raw field: GBUF bytes per cycle.
+    GbufBytesPerCycle(u64),
+    /// Raw field: aggregate weight-L0 bytes.
+    Wl0Bytes(u64),
+    /// Raw field: aggregate activation-L0 bytes.
+    Al0Bytes(u64),
+}
+
+impl HwField {
+    pub(crate) fn key(&self) -> &'static str {
+        match self {
+            HwField::Name(_) => "name",
+            HwField::FreqHz(_) => "freq_hz",
+            HwField::Tops(_) => "tops",
+            HwField::Cores(_) => "cores",
+            HwField::BufferMib(_) => "buffer_mib",
+            HwField::BufferBytes(_) => "buffer_bytes",
+            HwField::DramGbps(_) => "dram_gbps",
+            HwField::MacsPerCycle(_) => "macs_per_cycle",
+            HwField::KcParallel(_) => "kc_parallel",
+            HwField::SpatialParallel(_) => "spatial_parallel",
+            HwField::VectorLanes(_) => "vector_lanes",
+            HwField::GbufBytesPerCycle(_) => "gbuf_bytes_per_cycle",
+            HwField::Wl0Bytes(_) => "wl0_bytes",
+            HwField::Al0Bytes(_) => "al0_bytes",
+        }
+    }
+
+    pub(crate) fn value_text(&self) -> String {
+        match self {
+            HwField::Name(v) => v.clone(),
+            HwField::FreqHz(v) => v.to_string(),
+            HwField::Tops(v) => v.to_string(),
+            HwField::Cores(v) => v.to_string(),
+            HwField::BufferMib(v) => v.to_string(),
+            HwField::BufferBytes(v) => v.to_string(),
+            HwField::DramGbps(v) => v.to_string(),
+            HwField::MacsPerCycle(v) => v.to_string(),
+            HwField::KcParallel(v) => v.to_string(),
+            HwField::SpatialParallel(v) => v.to_string(),
+            HwField::VectorLanes(v) => v.to_string(),
+            HwField::GbufBytesPerCycle(v) => v.to_string(),
+            HwField::Wl0Bytes(v) => v.to_string(),
+            HwField::Al0Bytes(v) => v.to_string(),
+        }
+    }
+
+    /// Parses a `<key> <value>` pair into a field override. The caller
+    /// supplies a located error factory for bad values.
+    pub(crate) fn parse_pair(
+        key: &str,
+        value: &str,
+        err: impl Fn(String) -> SpecError,
+    ) -> Result<Option<Self>, SpecError> {
+        fn num<T: std::str::FromStr>(
+            value: &str,
+            key: &str,
+            err: &impl Fn(String) -> SpecError,
+        ) -> Result<T, SpecError> {
+            value.parse().map_err(|_| err(format!("`{key}` expects a number, got `{value}`")))
+        }
+        Ok(Some(match key {
+            "name" => HwField::Name(value.to_string()),
+            "freq_hz" => HwField::FreqHz(num(value, key, &err)?),
+            "tops" => HwField::Tops(num(value, key, &err)?),
+            "cores" => HwField::Cores(num(value, key, &err)?),
+            "buffer_mib" => HwField::BufferMib(num(value, key, &err)?),
+            "buffer_bytes" => HwField::BufferBytes(num(value, key, &err)?),
+            "dram_gbps" => HwField::DramGbps(num(value, key, &err)?),
+            "macs_per_cycle" => HwField::MacsPerCycle(num(value, key, &err)?),
+            "kc_parallel" => HwField::KcParallel(num(value, key, &err)?),
+            "spatial_parallel" => HwField::SpatialParallel(num(value, key, &err)?),
+            "vector_lanes" => HwField::VectorLanes(num(value, key, &err)?),
+            "gbuf_bytes_per_cycle" => HwField::GbufBytesPerCycle(num(value, key, &err)?),
+            "wl0_bytes" => HwField::Wl0Bytes(num(value, key, &err)?),
+            "al0_bytes" => HwField::Al0Bytes(num(value, key, &err)?),
+            _ => return Ok(None),
+        }))
+    }
+
+    /// Applies this override to a configuration.
+    fn apply(&self, cfg: HardwareConfig) -> HardwareConfig {
+        let b = HardwareConfig::builder().like(&cfg);
+        match self {
+            HwField::Name(v) => b.name(v.clone()).build(),
+            HwField::Tops(v) => b.tops(*v).build(),
+            HwField::Cores(v) => b.cores(*v).build(),
+            HwField::BufferMib(v) => b.buffer_mib(*v).build(),
+            HwField::BufferBytes(v) => b.buffer_bytes(*v).build(),
+            HwField::DramGbps(v) => b.dram_gbps(*v).build(),
+            HwField::FreqHz(v) => {
+                let mut cfg = b.build();
+                cfg.freq_hz = (*v).max(1);
+                cfg
+            }
+            HwField::MacsPerCycle(v) => {
+                let mut cfg = b.build();
+                cfg.macs_per_cycle = (*v).max(1);
+                cfg
+            }
+            HwField::KcParallel(v) => {
+                let mut cfg = b.build();
+                cfg.kc_parallel = (*v).max(1);
+                cfg
+            }
+            HwField::SpatialParallel(v) => {
+                let mut cfg = b.build();
+                cfg.spatial_parallel = (*v).max(1);
+                cfg
+            }
+            HwField::VectorLanes(v) => {
+                let mut cfg = b.build();
+                cfg.vector_lanes = (*v).max(1);
+                cfg
+            }
+            HwField::GbufBytesPerCycle(v) => {
+                let mut cfg = b.build();
+                cfg.gbuf_bytes_per_cycle = (*v).max(1);
+                cfg
+            }
+            HwField::Wl0Bytes(v) => {
+                let mut cfg = b.build();
+                cfg.wl0_bytes = *v;
+                cfg
+            }
+            HwField::Al0Bytes(v) => {
+                let mut cfg = b.build();
+                cfg.al0_bytes = *v;
+                cfg
+            }
+        }
+    }
+}
+
+/// A parseable hardware description: preset + ordered overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareSpec {
+    /// The starting point.
+    pub preset: Preset,
+    /// Overrides, applied in order on top of the preset.
+    pub overrides: Vec<HwField>,
+}
+
+impl HardwareSpec {
+    /// A bare preset with no overrides.
+    pub fn preset(preset: Preset) -> Self {
+        Self { preset, overrides: Vec::new() }
+    }
+
+    /// Whether this is a bare preset (resolves to a registry platform).
+    pub fn is_bare_preset(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Resolves to a [`HardwareConfig`] by applying the overrides in
+    /// order.
+    pub fn resolve(&self) -> HardwareConfig {
+        self.overrides.iter().fold(self.preset.config(), |cfg, f| f.apply(cfg))
+    }
+}
+
+/// Writes a hardware spec to the `soma-hardware v1` text format.
+pub fn write_hardware(spec: &HardwareSpec) -> String {
+    let mut out = String::new();
+    out.push_str("soma-hardware v1\n");
+    let _ = writeln!(out, "preset {}", spec.preset);
+    for f in &spec.overrides {
+        let _ = writeln!(out, "{} {}", f.key(), f.value_text());
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Reads a hardware spec from the `soma-hardware v1` text format.
+///
+/// # Errors
+///
+/// Returns a located [`SpecError`] on an unknown preset or field key, a
+/// malformed value, a missing `preset`/`end` line, or content after
+/// `end`.
+pub fn read_hardware(text: &str) -> Result<HardwareSpec, SpecError> {
+    let lines = body_lines(text, "soma-hardware v1")?;
+    let mut preset: Option<Preset> = None;
+    let mut overrides = Vec::new();
+    let mut last_line = 1usize;
+    let mut ended = false;
+
+    for toks in &lines {
+        let head = toks[0];
+        last_line = head.line;
+        if ended {
+            return Err(head.err("content after `end`"));
+        }
+        match head.text {
+            "end" => ended = true,
+            "preset" => {
+                let [_, value] = toks[..] else {
+                    return Err(head.err("expected `preset <edge|cloud|custom>`"));
+                };
+                let p = Preset::parse(value.text).ok_or_else(|| {
+                    value.err(format!(
+                        "unknown preset `{}` (expected edge|cloud|custom)",
+                        value.text
+                    ))
+                })?;
+                if preset.replace(p).is_some() {
+                    return Err(value.err("duplicate `preset` line"));
+                }
+            }
+            key => {
+                if preset.is_none() {
+                    return Err(head.err("`preset` must precede field overrides"));
+                }
+                let [_, value] = toks[..] else {
+                    return Err(head.err(format!("expected `{key} <value>`")));
+                };
+                match HwField::parse_pair(key, value.text, |msg| value.err(msg))? {
+                    Some(f) => overrides.push(f),
+                    None => return Err(head.err(format!("unknown hardware field `{key}`"))),
+                }
+            }
+        }
+    }
+    if !ended {
+        return Err(SpecError::new(last_line + 1, 1, "missing `end` line"));
+    }
+    let preset = preset.ok_or_else(|| SpecError::new(last_line, 1, "missing `preset` line"))?;
+    Ok(HardwareSpec { preset, overrides })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_presets_resolve_to_paper_platforms() {
+        assert_eq!(HardwareSpec::preset(Preset::Edge).resolve(), HardwareConfig::edge());
+        assert_eq!(HardwareSpec::preset(Preset::Cloud).resolve(), HardwareConfig::cloud());
+    }
+
+    #[test]
+    fn overrides_apply_in_order_with_builder_semantics() {
+        let spec = read_hardware(
+            "soma-hardware v1\npreset edge\nbuffer_mib 32\ndram_gbps 32\nname fat-edge\nend\n",
+        )
+        .unwrap();
+        let hw = spec.resolve();
+        let expect = HardwareConfig::builder()
+            .like(&HardwareConfig::edge())
+            .buffer_mib(32)
+            .dram_gbps(32.0)
+            .name("fat-edge")
+            .build();
+        assert_eq!(hw, expect);
+    }
+
+    #[test]
+    fn raw_fields_set_exactly_one_field() {
+        let spec = read_hardware("soma-hardware v1\npreset edge\nkc_parallel 64\nend\n").unwrap();
+        let hw = spec.resolve();
+        let edge = HardwareConfig::edge();
+        assert_eq!(hw.kc_parallel, 64);
+        assert_eq!(hw.spatial_parallel, edge.spatial_parallel);
+        assert_eq!(hw.macs_per_cycle, edge.macs_per_cycle);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let spec = HardwareSpec {
+            preset: Preset::Cloud,
+            overrides: vec![
+                HwField::Tops(64.0),
+                HwField::BufferMib(16),
+                HwField::Name("half-cloud".into()),
+            ],
+        };
+        let text = write_hardware(&spec);
+        assert_eq!(read_hardware(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let e = read_hardware("soma-hardware v1\npreset warp\nend\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8));
+        let e = read_hardware("soma-hardware v1\npreset edge\nbuffer_mib lots\nend\n").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 12));
+        let e = read_hardware("soma-hardware v1\npreset edge\nwarp_core 9\nend\n").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        let e = read_hardware("soma-hardware v1\npreset edge\n").unwrap_err();
+        assert!(e.to_string().contains("missing `end`"), "{e}");
+    }
+
+    #[test]
+    fn preset_of_recognises_derived_names() {
+        assert_eq!(Preset::of(&HardwareConfig::edge()), Some(Preset::Edge));
+        assert_eq!(Preset::of(&HardwareConfig::cloud()), Some(Preset::Cloud));
+        let swept =
+            HardwareConfig::builder().like(&HardwareConfig::edge()).name("edge-8MB-32GBps").build();
+        assert_eq!(Preset::of(&swept), Some(Preset::Edge));
+        assert_eq!(Preset::of(&HardwareConfig::builder().build()), None);
+    }
+}

@@ -1,0 +1,569 @@
+//! The `soma-network v1` format: a layer-graph grammar that round-trips
+//! through [`NetworkBuilder`].
+//!
+//! One line per builder call, sources referenced by name:
+//!
+//! ```text
+//! soma-network v1
+//! name fig2
+//! precision 1
+//! input in0 1x32x56x56
+//! conv A from in0 cout=64 k=3x3 stride=1
+//! conv B from A cout=64 k=3x3 stride=1
+//! conv C from B cout=128 k=3x3 stride=1
+//! output C
+//! end
+//! ```
+//!
+//! The full operator vocabulary (everything `examples/custom_network.rs`
+//! can express):
+//!
+//! ```text
+//! input   <name> <NxCxHxW>
+//! conv    <name> from <src>... cout=<n> k=<kh>x<kw> stride=<s>
+//! dwconv  <name> from <src> k=<k> stride=<s>
+//! pool    <name> from <src> k=<k> stride=<s>
+//! gpool   <name> from <src>
+//! linear  <name> from <src>... cout=<n>
+//! matmul  <name> from <streamed> <full> cout=<n> [dram=<bytes>]
+//! eltwise <name> <add|mul> from <src>...
+//! vector  <name> <relu|gelu|softmax|layernorm> from <src>
+//! output  <name>...
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. `name` (and an optional
+//! `precision`, default 1 byte/element) must precede the first graph line.
+//! Shapes and derived quantities (ofmaps, weight bytes) are *inferred*
+//! exactly as [`NetworkBuilder`] infers them — the grammar records builder
+//! arguments, not derived state, so a spec cannot describe an inconsistent
+//! network. `output` lines declare network outputs in order; multi-input
+//! `conv`/`linear` lines concatenate channels, as in the builder.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use soma_model::{EltOp, LayerKind, Network, NetworkBuilder, Src, VecOp};
+
+use crate::error::{body_lines, SpecError, Token};
+
+fn elt_op_id(op: EltOp) -> &'static str {
+    match op {
+        EltOp::Add => "add",
+        EltOp::Mul => "mul",
+    }
+}
+
+fn vec_op_id(op: VecOp) -> &'static str {
+    match op {
+        VecOp::Relu => "relu",
+        VecOp::Gelu => "gelu",
+        VecOp::Softmax => "softmax",
+        VecOp::LayerNorm => "layernorm",
+    }
+}
+
+/// Writes a network to the `soma-network v1` text format such that
+/// [`read_network`] reconstructs it bit-identically (graph, shapes,
+/// stats).
+///
+/// # Panics
+///
+/// Panics if a layer name is empty, duplicated, or not token-safe
+/// (contains whitespace, `=`, or starts with `#`) — names double as
+/// source references in the format. Every generated-network source in
+/// this workspace (the zoo, `NetworkBuilder` examples) satisfies this.
+pub fn write_network(net: &Network) -> String {
+    let mut seen = std::collections::HashSet::new();
+    for l in net.layers() {
+        assert!(
+            !l.name.is_empty()
+                && !l.name.contains(|c: char| c.is_whitespace() || c == '=')
+                && !l.name.starts_with('#'),
+            "layer name {:?} is not token-safe",
+            l.name
+        );
+        assert!(seen.insert(&l.name), "duplicate layer name {:?}", l.name);
+    }
+
+    // Externals are anonymous in a `Network`; name them `in<i>`,
+    // uniquified against layer names (the names only live in the text).
+    let ext_names: Vec<String> = (0..net.externals().len())
+        .map(|i| {
+            let mut name = format!("in{i}");
+            while seen.contains(&name) {
+                name.push('_');
+            }
+            name
+        })
+        .collect();
+    let src_name = |s: Src| match s {
+        Src::Layer(id) => net.layer(id).name.clone(),
+        Src::External(e) => ext_names[e.0 as usize].clone(),
+    };
+
+    let mut out = String::new();
+    out.push_str("soma-network v1\n");
+    let _ = writeln!(out, "name {}", net.name());
+    let _ = writeln!(out, "precision {}", net.precision());
+    for (i, shape) in net.externals().iter().enumerate() {
+        let _ = writeln!(out, "input {} {shape}", ext_names[i]);
+    }
+    for (id, l) in net.iter() {
+        let srcs = l.inputs.iter().map(|&s| src_name(s)).collect::<Vec<_>>().join(" ");
+        match l.kind {
+            LayerKind::Conv { kh, kw, stride } => {
+                let _ = writeln!(
+                    out,
+                    "conv {} from {srcs} cout={} k={kh}x{kw} stride={stride}",
+                    l.name, l.ofmap.c
+                );
+            }
+            LayerKind::DwConv { k, stride } => {
+                let _ = writeln!(out, "dwconv {} from {srcs} k={k} stride={stride}", l.name);
+            }
+            LayerKind::Pool { k, stride } => {
+                let _ = writeln!(out, "pool {} from {srcs} k={k} stride={stride}", l.name);
+            }
+            LayerKind::GlobalPool => {
+                let _ = writeln!(out, "gpool {} from {srcs}", l.name);
+            }
+            LayerKind::Linear => {
+                let _ = writeln!(out, "linear {} from {srcs} cout={}", l.name, l.ofmap.c);
+            }
+            LayerKind::Matmul => {
+                let _ = write!(out, "matmul {} from {srcs} cout={}", l.name, l.ofmap.c);
+                if l.weight_bytes > 0 {
+                    let _ = write!(out, " dram={}", l.weight_bytes);
+                }
+                out.push('\n');
+            }
+            LayerKind::Eltwise(op) => {
+                let _ = writeln!(out, "eltwise {} {} from {srcs}", l.name, elt_op_id(op));
+            }
+            LayerKind::Vector(op) => {
+                let _ = writeln!(out, "vector {} {} from {srcs}", l.name, vec_op_id(op));
+            }
+        }
+        let _ = id;
+    }
+    if !net.outputs().is_empty() {
+        let names =
+            net.outputs().iter().map(|&o| net.layer(o).name.clone()).collect::<Vec<_>>().join(" ");
+        let _ = writeln!(out, "output {names}");
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Key=value arguments of one graph line, consumed left to right.
+struct KvArgs<'a> {
+    line: usize,
+    line_col: usize,
+    entries: Vec<(Token<'a>, &'a str)>, // (whole token, value text)
+}
+
+impl<'a> KvArgs<'a> {
+    fn new(line: usize, line_col: usize, toks: &[Token<'a>]) -> Result<Self, SpecError> {
+        let mut entries: Vec<(Token<'a>, &'a str)> = Vec::new();
+        for &t in toks {
+            let Some((key, val)) = t.text.split_once('=') else {
+                return Err(t.err(format!("expected `key=value` argument, got `{}`", t.text)));
+            };
+            if entries.iter().any(|(e, _)| e.text.split_once('=').unwrap().0 == key) {
+                return Err(t.err(format!("duplicate `{key}=` argument")));
+            }
+            if val.is_empty() {
+                return Err(t.err(format!("empty value in `{}`", t.text)));
+            }
+            entries.push((t, val));
+        }
+        Ok(Self { line, line_col, entries })
+    }
+
+    fn take(&mut self, key: &str) -> Option<(Token<'a>, &'a str)> {
+        let pos =
+            self.entries.iter().position(|(t, _)| t.text.split_once('=').unwrap().0 == key)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Takes a required `key=` argument and parses its value.
+    fn require<T: std::str::FromStr>(&mut self, key: &str, expected: &str) -> Result<T, SpecError> {
+        let (tok, val) = self
+            .take(key)
+            .ok_or_else(|| SpecError::new(self.line, self.line_col, format!("missing `{key}=`")))?;
+        val.parse().map_err(|_| tok.err(format!("`{key}=` expects {expected}, got `{val}`")))
+    }
+
+    /// Takes an optional `key=` argument and parses its value.
+    fn optional<T: std::str::FromStr>(
+        &mut self,
+        key: &str,
+        expected: &str,
+    ) -> Result<Option<T>, SpecError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((tok, val)) => val
+                .parse()
+                .map(Some)
+                .map_err(|_| tok.err(format!("`{key}=` expects {expected}, got `{val}`"))),
+        }
+    }
+
+    /// Errors on any argument left unconsumed.
+    fn finish(self) -> Result<(), SpecError> {
+        match self.entries.first() {
+            None => Ok(()),
+            Some((t, _)) => Err(t.err(format!("unknown argument `{}`", t.text))),
+        }
+    }
+}
+
+/// Splits a graph line's tail at the `from` keyword: returns the source
+/// tokens and the key=value tail.
+fn split_from<'a>(
+    after_name: &'a [Token<'a>],
+    line: usize,
+    col: usize,
+) -> Result<(&'a [Token<'a>], &'a [Token<'a>]), SpecError> {
+    let Some((first, rest)) = after_name.split_first() else {
+        return Err(SpecError::new(line, col, "expected `from <source>...`"));
+    };
+    if first.text != "from" {
+        return Err(first.err(format!("expected `from`, got `{}`", first.text)));
+    }
+    let n_srcs = rest.iter().take_while(|t| !t.text.contains('=')).count();
+    if n_srcs == 0 {
+        return Err(first.err("`from` needs at least one source"));
+    }
+    Ok((&rest[..n_srcs], &rest[n_srcs..]))
+}
+
+fn parse_shape(tok: &Token<'_>) -> Result<soma_model::FmapShape, SpecError> {
+    let dims: Vec<u32> = tok
+        .text
+        .split('x')
+        .map(|d| d.parse::<u32>().map_err(|_| tok.err("expected a shape like `1x3x224x224`")))
+        .collect::<Result<_, _>>()?;
+    let [n, c, h, w] = dims[..] else {
+        return Err(tok.err(format!("a shape has 4 dimensions `NxCxHxW`, got {}", dims.len())));
+    };
+    if n == 0 || c == 0 || h == 0 || w == 0 {
+        return Err(tok.err("shape dimensions must be non-zero"));
+    }
+    Ok(soma_model::FmapShape::new(n, c, h, w))
+}
+
+/// Parses a conv `k=<kh>x<kw>` kernel (a bare `k=<k>` means square).
+fn parse_kernel(tok: &Token<'_>, val: &str) -> Result<(u32, u32), SpecError> {
+    let parse = |s: &str| {
+        s.parse::<u32>()
+            .ok()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| tok.err(format!("`k=` expects positive integers, got `{val}`")))
+    };
+    match val.split_once('x') {
+        Some((h, w)) => Ok((parse(h)?, parse(w)?)),
+        None => parse(val).map(|k| (k, k)),
+    }
+}
+
+/// Reads a network from the `soma-network v1` text format.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] with the line and column of the first
+/// offending token on any grammar violation: unknown directives or
+/// operators, undefined or duplicate names, missing/unknown arguments,
+/// malformed numbers or shapes, an output that is not a layer, or a
+/// missing `name`/`end` line.
+pub fn read_network(text: &str) -> Result<Network, SpecError> {
+    let lines = body_lines(text, "soma-network v1")?;
+
+    let mut name: Option<String> = None;
+    let mut precision: Option<u32> = None;
+    let mut builder: Option<NetworkBuilder> = None;
+    let mut symbols: HashMap<String, Src> = HashMap::new();
+    let mut last_line = 1usize;
+    let mut ended = false;
+
+    for toks in &lines {
+        let head = toks[0];
+        last_line = head.line;
+        if ended {
+            return Err(head.err("content after `end`"));
+        }
+        match head.text {
+            "name" => {
+                let [_, value] = toks[..] else {
+                    return Err(head.err("expected `name <network-name>`"));
+                };
+                if name.replace(value.text.to_string()).is_some() {
+                    return Err(value.err("duplicate `name` line"));
+                }
+            }
+            "precision" => {
+                let [_, value] = toks[..] else {
+                    return Err(head.err("expected `precision <bytes-per-element>`"));
+                };
+                let p: u32 = value.parse("a positive integer")?;
+                if p == 0 {
+                    return Err(value.err("precision must be at least one byte"));
+                }
+                if builder.is_some() {
+                    return Err(head.err("`precision` must precede the first graph line"));
+                }
+                if precision.replace(p).is_some() {
+                    return Err(value.err("duplicate `precision` line"));
+                }
+            }
+            "end" => ended = true,
+            directive => {
+                const GRAPH_DIRECTIVES: [&str; 10] = [
+                    "input", "conv", "dwconv", "pool", "gpool", "linear", "matmul", "eltwise",
+                    "vector", "output",
+                ];
+                if !GRAPH_DIRECTIVES.contains(&directive) {
+                    return Err(head.err(format!("unknown directive `{directive}`")));
+                }
+                // Everything else is a graph line and needs the builder.
+                if builder.is_none() {
+                    let Some(n) = name.clone() else {
+                        return Err(head.err("`name` must precede the first graph line"));
+                    };
+                    builder = Some(NetworkBuilder::new(n, precision.unwrap_or(1)));
+                }
+                let b = builder.as_mut().expect("just initialised");
+
+                if directive == "output" {
+                    let [_, outs @ ..] = &toks[..] else { unreachable!("head is toks[0]") };
+                    if outs.is_empty() {
+                        return Err(head.err("expected `output <layer-name>...`"));
+                    }
+                    for o in outs {
+                        match symbols.get(o.text) {
+                            Some(&Src::Layer(_)) => b.mark_output(symbols[o.text]),
+                            Some(&Src::External(_)) => {
+                                return Err(o.err(format!(
+                                    "`{}` is an input, not a layer — only layers can be outputs",
+                                    o.text
+                                )))
+                            }
+                            None => return Err(o.err(format!("undefined name `{}`", o.text))),
+                        }
+                    }
+                    continue;
+                }
+
+                // `<op> <name> ...` — validate and bind the new name.
+                let Some(nm) = toks.get(1) else {
+                    return Err(head.err(format!("expected `{directive} <name> ...`")));
+                };
+                if nm.text.contains('=') {
+                    return Err(nm.err(format!("expected a name, got `{}`", nm.text)));
+                }
+                if symbols.contains_key(nm.text) {
+                    return Err(nm.err(format!("duplicate name `{}`", nm.text)));
+                }
+
+                if directive == "input" {
+                    let [_, _, shape] = toks[..] else {
+                        return Err(head.err("expected `input <name> <NxCxHxW>`"));
+                    };
+                    let src = b.external(parse_shape(&shape)?);
+                    symbols.insert(nm.text.to_string(), src);
+                    continue;
+                }
+
+                // Operator lines: optional op token, `from`, sources, kv.
+                let (op_tok, tail) = match directive {
+                    "eltwise" | "vector" => {
+                        let Some(op) = toks.get(2) else {
+                            return Err(
+                                head.err(format!("expected `{directive} <name> <op> from ...`"))
+                            );
+                        };
+                        (Some(op), &toks[3..])
+                    }
+                    _ => (None, &toks[2..]),
+                };
+                let (src_toks, kv_toks) = split_from(tail, head.line, nm.col + nm.text.len())?;
+                let mut srcs = Vec::with_capacity(src_toks.len());
+                for s in src_toks {
+                    let Some(&src) = symbols.get(s.text) else {
+                        return Err(s.err(format!("undefined name `{}`", s.text)));
+                    };
+                    srcs.push(src);
+                }
+                let mut kv = KvArgs::new(head.line, head.col, kv_toks)?;
+                let one_src = |srcs: &[Src]| -> Result<Src, SpecError> {
+                    if srcs.len() == 1 {
+                        Ok(srcs[0])
+                    } else {
+                        Err(src_toks[1].err(format!("`{directive}` takes exactly one source")))
+                    }
+                };
+
+                let src = match directive {
+                    "conv" => {
+                        let cout: u32 = kv.require("cout", "a positive integer")?;
+                        let (ktok, kval) = kv
+                            .take("k")
+                            .ok_or_else(|| SpecError::new(head.line, head.col, "missing `k=`"))?;
+                        let (kh, kw) = parse_kernel(&ktok, kval)?;
+                        let stride: u32 = kv.require("stride", "a positive integer")?;
+                        if cout == 0 || stride == 0 {
+                            return Err(head.err("`cout=`/`stride=` must be positive"));
+                        }
+                        b.conv_rect(nm.text, &srcs, cout, kh, kw, stride)
+                    }
+                    "dwconv" | "pool" => {
+                        let k: u32 = kv.require("k", "a positive integer")?;
+                        let stride: u32 = kv.require("stride", "a positive integer")?;
+                        if k == 0 || stride == 0 {
+                            return Err(head.err("`k=`/`stride=` must be positive"));
+                        }
+                        let input = one_src(&srcs)?;
+                        if directive == "dwconv" {
+                            b.dwconv(nm.text, input, k, stride)
+                        } else {
+                            b.pool(nm.text, input, k, stride)
+                        }
+                    }
+                    "gpool" => b.global_pool(nm.text, one_src(&srcs)?),
+                    "linear" => {
+                        let cout: u32 = kv.require("cout", "a positive integer")?;
+                        if cout == 0 {
+                            return Err(head.err("`cout=` must be positive"));
+                        }
+                        b.linear(nm.text, &srcs, cout)
+                    }
+                    "matmul" => {
+                        let cout: u32 = kv.require("cout", "a positive integer")?;
+                        let dram: u64 = kv.optional("dram", "a byte count")?.unwrap_or(0);
+                        if cout == 0 {
+                            return Err(head.err("`cout=` must be positive"));
+                        }
+                        let [streamed, full] = srcs[..] else {
+                            return Err(src_toks[0].err(
+                                "`matmul` takes exactly two sources: `from <streamed> <full>`",
+                            ));
+                        };
+                        b.matmul(nm.text, streamed, full, cout, dram)
+                    }
+                    "eltwise" => {
+                        let op_tok = op_tok.expect("eltwise parsed an op token");
+                        let op = match op_tok.text {
+                            "add" => EltOp::Add,
+                            "mul" => EltOp::Mul,
+                            other => {
+                                return Err(op_tok.err(format!(
+                                    "unknown eltwise op `{other}` (expected add|mul)"
+                                )))
+                            }
+                        };
+                        if srcs.len() < 2 {
+                            return Err(src_toks[0].err("`eltwise` needs at least two sources"));
+                        }
+                        b.eltwise(nm.text, op, &srcs)
+                    }
+                    "vector" => {
+                        let op_tok = op_tok.expect("vector parsed an op token");
+                        let op = match op_tok.text {
+                            "relu" => VecOp::Relu,
+                            "gelu" => VecOp::Gelu,
+                            "softmax" => VecOp::Softmax,
+                            "layernorm" => VecOp::LayerNorm,
+                            other => {
+                                return Err(op_tok.err(format!(
+                                "unknown vector op `{other}` (expected relu|gelu|softmax|layernorm)"
+                            )))
+                            }
+                        };
+                        b.vector(nm.text, op, one_src(&srcs)?)
+                    }
+                    other => unreachable!("directive `{other}` was whitelisted above"),
+                };
+                kv.finish()?;
+                symbols.insert(nm.text.to_string(), src);
+            }
+        }
+    }
+
+    if !ended {
+        return Err(SpecError::new(last_line + 1, 1, "missing `end` line"));
+    }
+    match builder {
+        Some(b) => Ok(b.finish()),
+        None => Err(SpecError::new(
+            last_line,
+            1,
+            if name.is_none() { "missing `name` line" } else { "network has no layers" },
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soma_model::zoo;
+
+    #[test]
+    fn fig2_round_trips_through_text() {
+        let net = zoo::fig2(2);
+        let text = write_network(&net);
+        let back = read_network(&text).expect("canonical text parses");
+        assert_eq!(back.name(), net.name());
+        assert_eq!(back.precision(), net.precision());
+        assert_eq!(back.externals(), net.externals());
+        assert_eq!(back.layers(), net.layers());
+        assert_eq!(back.outputs(), net.outputs());
+    }
+
+    #[test]
+    fn hand_written_spec_matches_builder() {
+        let text = "soma-network v1\n\
+                    name demo\n\
+                    input x 1x3x32x32   # image\n\
+                    conv c from x cout=8 k=3 stride=2\n\
+                    vector r relu from c\n\
+                    output r\n\
+                    end\n";
+        let net = read_network(text).unwrap();
+        let mut b = NetworkBuilder::new("demo", 1);
+        let x = b.external(soma_model::FmapShape::new(1, 3, 32, 32));
+        let c = b.conv("c", &[x], 8, 3, 2);
+        let r = b.vector("r", VecOp::Relu, c);
+        b.mark_output(r);
+        let expect = b.finish();
+        assert_eq!(net.layers(), expect.layers());
+        assert_eq!(net.outputs(), expect.outputs());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // Unknown directive on line 3, column 1.
+        let e = read_network("soma-network v1\nname d\nfrobnicate z\nend\n").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        // Undefined source name: line 4, column of `y`.
+        let text =
+            "soma-network v1\nname d\ninput x 1x1x8x8\nconv c from y cout=1 k=1 stride=1\nend\n";
+        let e = read_network(text).unwrap_err();
+        assert_eq!((e.line, e.col), (4, 13));
+        assert!(e.to_string().contains("undefined name `y`"), "{e}");
+    }
+
+    #[test]
+    fn missing_argument_is_reported() {
+        let text = "soma-network v1\nname d\ninput x 1x1x8x8\nconv c from x k=1 stride=1\nend\n";
+        let e = read_network(text).unwrap_err();
+        assert!(e.to_string().contains("missing `cout=`"), "{e}");
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn output_must_be_a_layer() {
+        let text = "soma-network v1\nname d\ninput x 1x1x8x8\nconv c from x cout=1 k=1 stride=1\noutput x\nend\n";
+        let e = read_network(text).unwrap_err();
+        assert_eq!((e.line, e.col), (5, 8));
+    }
+}

@@ -1,0 +1,306 @@
+//! Round-trip guarantees of the `soma-network v1` format: random
+//! [`NetworkBuilder`] graphs and the entire zoo must survive
+//! `write_network` → `read_network` with an identical layer graph,
+//! identical derived stats, and an identical same-seed [`Scheduler`]
+//! outcome — plus golden parse-error tests pinning the line/column
+//! reporting of all three spec formats.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soma_arch::HardwareConfig;
+use soma_model::{zoo, EltOp, FmapShape, Network, NetworkBuilder, Src, VecOp};
+use soma_search::{Scheduler, SearchConfig};
+use soma_spec::{read_experiment, read_hardware, read_network, write_network};
+
+/// Structural equality over every observable `Network` field (the graph,
+/// not just derived stats).
+fn assert_same_network(a: &Network, b: &Network) {
+    assert_eq!(a.name(), b.name());
+    assert_eq!(a.precision(), b.precision());
+    assert_eq!(a.externals(), b.externals());
+    assert_eq!(a.layers(), b.layers());
+    assert_eq!(a.outputs(), b.outputs());
+    // Derived stats follow, but check the cheap ones explicitly so a
+    // failure names the divergence.
+    assert_eq!(a.total_ops(), b.total_ops());
+    assert_eq!(a.total_weight_bytes(), b.total_weight_bytes());
+    for (id, _) in a.iter() {
+        assert_eq!(a.consumers(id), b.consumers(id));
+        assert_eq!(a.is_output(id), b.is_output(id));
+    }
+}
+
+/// A random builder-constructed DAG exercising the whole operator
+/// vocabulary: conv (multi-input), dwconv, pool, gpool, linear, matmul,
+/// eltwise, vector, multiple externals and multiple outputs.
+fn random_network(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batch = rng.gen_range(1..3u32);
+    let precision = rng.gen_range(1..3u32);
+    let mut b = NetworkBuilder::new(format!("rand{seed:016x}"), precision);
+
+    let mut srcs: Vec<(Src, FmapShape)> = Vec::new();
+    for _ in 0..rng.gen_range(1..3usize) {
+        let shape = FmapShape::new(
+            batch,
+            rng.gen_range(1..24u32),
+            rng.gen_range(1..24u32),
+            rng.gen_range(1..24u32),
+        );
+        srcs.push((b.external(shape), shape));
+    }
+
+    let layers = rng.gen_range(3..12usize);
+    let mut layer_srcs: Vec<Src> = Vec::new();
+    for i in 0..layers {
+        let pick = |rng: &mut StdRng, srcs: &[(Src, FmapShape)]| srcs[rng.gen_range(0..srcs.len())];
+        let name = format!("l{i}");
+        let (src, shape) = pick(&mut rng, &srcs);
+        let (new_src, new_shape) = match rng.gen_range(0..8u32) {
+            0 | 1 => {
+                // conv, sometimes multi-input (channel concat).
+                let mut inputs = vec![src];
+                if rng.gen_bool(0.3) {
+                    inputs.push(pick(&mut rng, &srcs).0);
+                }
+                let cout = rng.gen_range(1..32u32);
+                let k = rng.gen_range(1..4u32);
+                let stride = rng.gen_range(1..3u32);
+                let s = b.conv(name, &inputs, cout, k, stride);
+                (
+                    s,
+                    FmapShape::new(
+                        shape.n,
+                        cout,
+                        shape.h.div_ceil(stride),
+                        shape.w.div_ceil(stride),
+                    ),
+                )
+            }
+            2 => {
+                let k = rng.gen_range(1..4u32);
+                let s = b.dwconv(name, src, k, 1);
+                (s, shape)
+            }
+            3 => {
+                let s = b.pool(name, src, 2, 2);
+                (s, FmapShape::new(shape.n, shape.c, shape.h.div_ceil(2), shape.w.div_ceil(2)))
+            }
+            4 => {
+                let cout = rng.gen_range(1..48u32);
+                let s = b.linear(name, &[src], cout);
+                (s, FmapShape::new(shape.n, cout, shape.h, shape.w))
+            }
+            5 => {
+                // matmul: streamed x full, occasionally with a DRAM
+                // operand (decode-style KV cache).
+                let full = pick(&mut rng, &srcs).0;
+                let cout = rng.gen_range(1..32u32);
+                let dram = if rng.gen_bool(0.5) { rng.gen_range(1..4096u64) } else { 0 };
+                let s = b.matmul(name, src, full, cout, dram);
+                (s, FmapShape::new(shape.n, cout, shape.h, shape.w))
+            }
+            6 => {
+                // eltwise over two same-shape sources, if any pair exists.
+                let mates: Vec<Src> = srcs
+                    .iter()
+                    .filter(|&&(s, sh)| sh == shape && s != src)
+                    .map(|&(s, _)| s)
+                    .collect();
+                if mates.is_empty() {
+                    let s = b.vector(name, VecOp::Relu, src);
+                    (s, shape)
+                } else {
+                    let mate = mates[rng.gen_range(0..mates.len())];
+                    let op = if rng.gen_bool(0.5) { EltOp::Add } else { EltOp::Mul };
+                    let s = b.eltwise(name, op, &[src, mate]);
+                    (s, shape)
+                }
+            }
+            _ => {
+                let op = match rng.gen_range(0..4u32) {
+                    0 => VecOp::Relu,
+                    1 => VecOp::Gelu,
+                    2 => VecOp::Softmax,
+                    _ => VecOp::LayerNorm,
+                };
+                let s = b.vector(name, op, src);
+                (s, shape)
+            }
+        };
+        srcs.push((new_src, new_shape));
+        layer_srcs.push(new_src);
+    }
+
+    // Declare one or two explicit outputs (the rest are implicit).
+    b.mark_output(*layer_srcs.last().expect("at least one layer"));
+    if layer_srcs.len() > 2 && rng.gen_bool(0.5) {
+        let extra = layer_srcs[rng.gen_range(0..layer_srcs.len() - 1)];
+        if extra != *layer_srcs.last().expect("non-empty") {
+            b.mark_output(extra);
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random builder graphs survive the text round trip with an
+    /// identical layer graph and stats.
+    #[test]
+    fn random_networks_round_trip(seed in any::<u64>()) {
+        let net = random_network(seed);
+        let text = write_network(&net);
+        let back = read_network(&text)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: {e}\n{text}"));
+        assert_same_network(&net, &back);
+        // Canonical text is a fixed point: write(read(write(n))) == write(n).
+        prop_assert_eq!(write_network(&back), text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A reloaded network is not just structurally identical — the whole
+    /// scheduling pipeline agrees: the same-seed `Scheduler` outcome on
+    /// the reloaded network is bit-identical to the original's.
+    #[test]
+    fn random_networks_schedule_identically_after_round_trip(seed in any::<u64>()) {
+        let net = random_network(seed);
+        let back = read_network(&write_network(&net)).expect("round trip parses");
+        let hw = HardwareConfig::edge();
+        let cfg = SearchConfig { effort: 0.01, seed: seed ^ 0xA5, ..SearchConfig::default() };
+        let a = Scheduler::new(&net, &hw).config(cfg.clone()).run();
+        let b = Scheduler::new(&back, &hw).config(cfg).run();
+        prop_assert_eq!(a.best.encoding, b.best.encoding);
+        prop_assert_eq!(a.best.report, b.best.report);
+        prop_assert_eq!(a.best.cost.to_bits(), b.best.cost.to_bits());
+        prop_assert_eq!(a.evals, b.evals);
+        prop_assert_eq!(a.rejected, b.rejected);
+    }
+}
+
+/// Every zoo network — the acceptance bar — round-trips bit-identically:
+/// graph and stats here; the `Scheduler` is a deterministic function of
+/// the (identical) network, verified directly on the small demos below.
+#[test]
+fn every_zoo_network_round_trips() {
+    for batch in [1u32, 3] {
+        for net in zoo::full_zoo(batch) {
+            let text = write_network(&net);
+            let back =
+                read_network(&text).unwrap_or_else(|e| panic!("{} b{batch}: {e}", net.name()));
+            assert_same_network(&net, &back);
+        }
+    }
+}
+
+#[test]
+fn zoo_demo_networks_schedule_identically_after_round_trip() {
+    let hw = HardwareConfig::edge();
+    for net in [zoo::fig2(1), zoo::fig4(1), zoo::randwire(1, 0xC0C0)] {
+        let back = read_network(&write_network(&net)).expect("round trip parses");
+        let cfg = SearchConfig { effort: 0.02, seed: 11, ..SearchConfig::default() };
+        let a = Scheduler::new(&net, &hw).config(cfg.clone()).run();
+        let b = Scheduler::new(&back, &hw).config(cfg).run();
+        assert_eq!(a.best.encoding, b.best.encoding, "{}", net.name());
+        assert_eq!(a.best.report, b.best.report, "{}", net.name());
+        assert_eq!(a.best.cost.to_bits(), b.best.cost.to_bits(), "{}", net.name());
+    }
+}
+
+/// Golden parse errors: every malformed spec reports the exact line and
+/// column of the offending token, for all three formats.
+#[test]
+fn golden_network_parse_errors() {
+    let cases: &[(&str, (usize, usize), &str)] = &[
+        ("bogus\n", (1, 1), "expected `soma-network v1` header"),
+        ("soma-network v1\nname d\nwarp x from y\nend\n", (3, 1), "unknown directive `warp`"),
+        (
+            "soma-network v1\ninput x 1x1x8x8\nend\n",
+            (2, 1),
+            "`name` must precede the first graph line",
+        ),
+        ("soma-network v1\nname d\ninput x 1x1x8\nend\n", (3, 9), "a shape has 4 dimensions"),
+        (
+            "soma-network v1\nname d\ninput x 1x1x8x8\ninput x 1x1x8x8\nend\n",
+            (4, 7),
+            "duplicate name `x`",
+        ),
+        (
+            "soma-network v1\nname d\ninput x 1x1x8x8\nconv c from x cout=4 k=3 stride=oops\nend\n",
+            (4, 26),
+            "`stride=` expects a positive integer",
+        ),
+        (
+            "soma-network v1\nname d\ninput x 1x1x8x8\nconv c from x cout=4 k=3 stride=1 zap=9\nend\n",
+            (4, 35),
+            "unknown argument `zap=9`",
+        ),
+        (
+            "soma-network v1\nname d\ninput x 1x1x8x8\nmatmul m from x cout=4\nend\n",
+            (4, 15),
+            "exactly two sources",
+        ),
+        (
+            "soma-network v1\nname d\ninput x 1x1x8x8\nvector v whoosh from x\nend\n",
+            (4, 10),
+            "unknown vector op `whoosh`",
+        ),
+        ("soma-network v1\nname d\ninput x 1x1x8x8\nconv c from x cout=4 k=3 stride=1\n", (5, 1), "missing `end`"),
+    ];
+    for (text, (line, col), needle) in cases {
+        let err = read_network(text).expect_err(text);
+        assert_eq!((err.line, err.col), (*line, *col), "{text:?} -> {err}");
+        assert!(err.to_string().contains(needle), "{text:?}: {err} !~ {needle}");
+    }
+}
+
+#[test]
+fn golden_hardware_and_experiment_parse_errors() {
+    let hw_cases: &[(&str, (usize, usize), &str)] = &[
+        ("soma-hardware v1\npreset warp9\nend\n", (2, 8), "unknown preset `warp9`"),
+        ("soma-hardware v1\npreset edge\nbuffer_mib all\nend\n", (3, 12), "expects a number"),
+        (
+            "soma-hardware v1\npreset edge\nflux_capacitor 1\nend\n",
+            (3, 1),
+            "unknown hardware field",
+        ),
+    ];
+    for (text, (line, col), needle) in hw_cases {
+        let err = read_hardware(text).expect_err(text);
+        assert_eq!((err.line, err.col), (*line, *col), "{text:?} -> {err}");
+        assert!(err.to_string().contains(needle), "{text:?}: {err} !~ {needle}");
+    }
+
+    let exp_cases: &[(&str, (usize, usize), &str)] = &[
+        (
+            "soma-experiment v1\nname x\nscenario fig2@edge/b\nend\n",
+            (3, 10),
+            "unknown scenario id",
+        ),
+        (
+            "soma-experiment v1\nname x\nworkload mystery-net\nhardware edge\nend\n",
+            (3, 10),
+            "unknown zoo workload `mystery-net`",
+        ),
+        (
+            "soma-experiment v1\nname x\nscenario fig2@edge/b1\nlink_cuts 2\nend\n",
+            (4, 11),
+            "expects 0 or 1",
+        ),
+        (
+            "soma-experiment v1\nname x\nscenario fig2@edge/b1\nhardware edge dram_gbps=fast\nend\n",
+            (4, 15),
+            "expects a number",
+        ),
+    ];
+    for (text, (line, col), needle) in exp_cases {
+        let err = read_experiment(text).expect_err(text);
+        assert_eq!((err.line, err.col), (*line, *col), "{text:?} -> {err}");
+        assert!(err.to_string().contains(needle), "{text:?}: {err} !~ {needle}");
+    }
+}

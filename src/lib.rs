@@ -13,6 +13,9 @@
 //! * [`search`] — the [`Scheduler`](search::Scheduler) session API over
 //!   the two-stage SA framework, buffer allocator and the Cocco
 //!   baseline.
+//! * [`spec`] — declarative scenario specs: parseable network /
+//!   hardware / experiment descriptions and the scenario registry
+//!   (`<workload>@<preset>/b<batch>` ids).
 //!
 //! # Quickstart
 //!
@@ -34,6 +37,7 @@ pub use soma_core as core;
 pub use soma_model as model;
 pub use soma_search as search;
 pub use soma_sim as sim;
+pub use soma_spec as spec;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -45,4 +49,5 @@ pub mod prelude {
         StepOutcome,
     };
     pub use soma_sim::{evaluate, EvalReport};
+    pub use soma_spec::{read_experiment, read_network, write_network, ExperimentSpec, SpecError};
 }

@@ -54,6 +54,39 @@ fn ci_smoke_compiled_engine_matches_naive_on_fig2() {
     }
 }
 
+/// The declarative-spec gate: running the committed `specs/fig2_edge.soma`
+/// experiment file through the spec layer reproduces the equivalent
+/// hand-written `Scheduler::new(..).run()` **bit-for-bit, field-for-field**
+/// — the spec layer adds description, never behaviour. CI also executes
+/// the same file through `soma-bench --bin run`.
+#[test]
+fn ci_smoke_spec_run_reproduces_in_code_scheduler() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/fig2_edge.soma");
+    let text = std::fs::read_to_string(path).expect("committed spec exists");
+    let spec = soma::spec::read_experiment(&text).expect("committed spec parses");
+    let rows = soma_bench::run_experiment(&spec, |_, _| {});
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].cell.id, "fig2@edge/b1");
+
+    // The in-code twin, written out literally: same workload, platform
+    // and knobs as the spec file declares.
+    let net = zoo::fig2(1);
+    let hw = HardwareConfig::edge();
+    let cfg = SearchConfig { effort: 0.01, seed: 2025, ..SearchConfig::default() };
+    let direct = soma::search::Scheduler::new(&net, &hw).config(cfg).run();
+
+    let got = &rows[0].outcome;
+    assert_eq!(got.best.encoding, direct.best.encoding);
+    assert_eq!(got.best.report, direct.best.report);
+    assert_eq!(got.best.cost.to_bits(), direct.best.cost.to_bits());
+    assert_eq!(got.stage1.encoding, direct.stage1.encoding);
+    assert_eq!(got.stage1.report, direct.stage1.report);
+    assert_eq!(got.stage1.cost.to_bits(), direct.stage1.cost.to_bits());
+    assert_eq!(got.allocator_iters, direct.allocator_iters);
+    assert_eq!(got.evals, direct.evals);
+    assert_eq!(got.rejected, direct.rejected);
+}
+
 #[test]
 fn full_pipeline_on_fig2() {
     let net = zoo::fig2(1);
