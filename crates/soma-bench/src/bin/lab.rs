@@ -1,0 +1,125 @@
+//! Executes a committed `.soma` experiment file through the parallel,
+//! resumable, cache-aware orchestrator (`soma_bench::lab`).
+//!
+//! ```sh
+//! cargo run --release -p soma-bench --bin lab -- specs/fig2_edge.soma
+//! cargo run --release -p soma-bench --bin lab -- specs/fig2_edge.soma \
+//!     --ledger out/fig2.jsonl --require-hits
+//! ```
+//!
+//! Stdout carries the same CSV the `run` binary prints (byte-identical
+//! for the same spec — pinned by the golden tests); commentary and the
+//! per-cell `LabEvent` stream go to stderr. Results are keyed into the
+//! **run ledger** (default `target/lab/<experiment-name>.jsonl`, or
+//! `--ledger <path>`): a rerun of an unchanged spec performs zero search
+//! work, an interrupted run resumes from the last completed cell, and
+//! editing the spec's search configuration invalidates exactly the
+//! affected cells (the key hashes scenario id, resolved hardware, full
+//! `SearchConfig`, seed portfolio and engine version).
+//!
+//! `--require-hits` exits with status 3 unless every cell was a ledger
+//! hit — the CI replay gate (`lab-smoke` runs the same spec twice and
+//! requires the second pass to be 100 % cached).
+//!
+//! The spec file owns the entire run configuration, so **every**
+//! `SOMA_*` knob — including `SOMA_WORKLOAD`; a partial run would poison
+//! resume-vs-uninterrupted ledger comparisons — is ignored with a
+//! warning.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use soma_bench::{csv_rows, run_lab, LabEvent, CSV_HEADER};
+use soma_spec::read_experiment;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lab <experiment.soma> [--ledger <path>] [--require-hits]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    for knob in ["SOMA_EFFORT", "SOMA_SEED", "SOMA_FULL", "SOMA_THREADS", "SOMA_WORKLOAD"] {
+        if std::env::var_os(knob).is_some() {
+            eprintln!("lab: ignoring {knob} — the spec file owns the entire run configuration");
+        }
+    }
+
+    let mut spec_path: Option<String> = None;
+    let mut ledger_path: Option<PathBuf> = None;
+    let mut require_hits = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ledger" => match args.next() {
+                Some(p) => ledger_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--require-hits" => require_hits = true,
+            _ if spec_path.is_none() && !arg.starts_with('-') => spec_path = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = spec_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("lab: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match read_experiment(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("lab: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ledger = ledger_path
+        .unwrap_or_else(|| PathBuf::from("target/lab").join(format!("{}.jsonl", spec.name)));
+
+    eprintln!(
+        "[lab] {}: {} cell(s), {} seed(s), effort {}, ledger {}",
+        spec.name,
+        spec.cells().len(),
+        spec.seeds.len(),
+        spec.config.effort,
+        ledger.display()
+    );
+    let summary = run_lab(&spec, &ledger, |ev| match ev {
+        LabEvent::Queued { cell, hash } => eprintln!("[lab] queued   {cell} ({hash})"),
+        LabEvent::Cached { cell, .. } => eprintln!("[lab] cached   {cell}"),
+        LabEvent::Started { cell } => eprintln!("[lab] started  {cell}"),
+        LabEvent::Finished { cell, cost, latency_cycles, evals, .. } => eprintln!(
+            "[lab] finished {cell}: best cost {cost:.3e}, latency {latency_cycles} cycles, \
+             {evals} evals"
+        ),
+    });
+    let summary = match summary {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lab: {}: {e}", ledger.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("{CSV_HEADER}");
+    print!("{}", csv_rows(&summary.rows));
+    eprintln!(
+        "[lab] {}: {} hit(s), {} searched, ledger {}",
+        spec.name,
+        summary.hits,
+        summary.misses,
+        ledger.display()
+    );
+    if require_hits && summary.misses > 0 {
+        eprintln!(
+            "lab: --require-hits: {} cell(s) were not served from the ledger",
+            summary.misses
+        );
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

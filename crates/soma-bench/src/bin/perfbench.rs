@@ -1,12 +1,15 @@
 //! Search-throughput benchmark: schedule evaluations per second through
 //! the naive rebuild-everything path vs the compiled evaluation engine,
-//! per stage, per network, per seed.
+//! per stage, per network, per seed — plus cold-vs-warm timings of the
+//! ledger-backed `lab` orchestrator.
 //!
 //! Prints a machine-readable JSON document to stdout (committed at the
 //! repo root as `BENCH_search.json`) and commentary to stderr. Both
 //! paths replay the *same* greedy mutation walk at the same seed, and
 //! the bit-identical final cost is asserted before any number is
-//! reported — a result that is fast but wrong aborts the run.
+//! reported — a result that is fast but wrong aborts the run. Likewise
+//! the `lab` section asserts the warm pass is 100 % ledger hits before
+//! reporting its speedup.
 //!
 //! Knobs (see `soma_bench::RunConfig`): `SOMA_SEED` is the base seed
 //! (three consecutive seeds are measured), `SOMA_EFFORT` scales the
@@ -181,6 +184,65 @@ fn json_row(
     );
 }
 
+/// Times the `lab` orchestrator on one scenario: a cold run (full
+/// search, fresh ledger) vs a warm rerun (100 % ledger hits — asserted).
+/// The ratio is what a same-spec replay of an experiment campaign costs
+/// after this PR: ledger I/O instead of search.
+fn lab_cold_warm(rc: &RunConfig, scenario_id: &str) -> String {
+    use soma_search::SearchConfig;
+
+    let sc = soma_spec::registry::lookup(scenario_id).expect("registry scenario id");
+    let spec = soma_spec::ExperimentSpec {
+        name: format!("perf-{}", scenario_id.replace(['@', '/'], "-")),
+        scenarios: vec![sc],
+        workloads: vec![],
+        hardware: vec![],
+        batches: vec![],
+        seeds: vec![rc.seed],
+        config: SearchConfig {
+            effort: 0.02 * rc.effort_scale,
+            seed: rc.seed,
+            stage2_cap: 50_000,
+            max_allocator_iters: 4,
+            ..SearchConfig::default()
+        },
+    };
+    let ledger = std::env::temp_dir().join(format!("{}.ledger.jsonl", spec.name));
+    let _ = std::fs::remove_file(&ledger);
+
+    let start = Instant::now();
+    let cold = soma_bench::run_lab(&spec, &ledger, |_| {}).expect("cold lab run");
+    let cold_s = start.elapsed().as_secs_f64();
+    assert_eq!(cold.misses, 1, "{scenario_id}: cold run must search");
+
+    let start = Instant::now();
+    let warm = soma_bench::run_lab(&spec, &ledger, |_| {}).expect("warm lab run");
+    let warm_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        (warm.hits, warm.misses),
+        (1, 0),
+        "{scenario_id}: warm rerun must be 100% ledger hits"
+    );
+    assert_eq!(
+        warm.rows[0].outcome.best.cost.to_bits(),
+        cold.rows[0].outcome.best.cost.to_bits(),
+        "{scenario_id}: cached outcome diverged"
+    );
+    let _ = std::fs::remove_file(&ledger);
+
+    let speedup = if warm_s > 0.0 { cold_s / warm_s } else { 0.0 };
+    eprintln!(
+        "[perfbench] {scenario_id:<20} lab: cold {cold_s:>8.3} s, warm {warm_s:>8.5} s \
+         (replay speedup {speedup:.0}x)"
+    );
+    format!(
+        "    {{\"scenario\": \"{scenario_id}\", \"seed\": {}, \"cells\": 1, \
+         \"cold_s\": {cold_s:.6}, \"warm_s\": {warm_s:.6}, \"warm_hits\": 1, \
+         \"replay_speedup\": {speedup:.1}}}",
+        rc.seed
+    )
+}
+
 fn main() {
     let rc = RunConfig::from_env_or_exit();
     let hw = HardwareConfig::edge();
@@ -233,6 +295,15 @@ fn main() {
         }
     }
 
+    // Cold-vs-warm `lab` orchestrator timings: what a same-spec replay
+    // costs once the run ledger is populated.
+    let mut lab_rows: Vec<String> = Vec::new();
+    for scenario in ["fig2@edge/b1", "resnet50@edge/b1"] {
+        if rc.selects_id(scenario) {
+            lab_rows.push(lab_cold_warm(&rc, scenario));
+        }
+    }
+
     println!("{{");
     println!("  \"bench\": \"search_throughput\",");
     println!("  \"unit\": \"completed schedule evaluations per second\",");
@@ -242,6 +313,9 @@ fn main() {
     );
     println!("  \"results\": [");
     println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"lab\": [");
+    println!("{}", lab_rows.join(",\n"));
     println!("  ]");
     println!("}}");
 }

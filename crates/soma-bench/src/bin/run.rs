@@ -19,28 +19,8 @@
 //! filter applies on top; knobs the spec supersedes (`SOMA_EFFORT`,
 //! `SOMA_SEED`, `SOMA_FULL`, `SOMA_THREADS`) are ignored with a warning.
 
-use soma_bench::{run_cells, RunConfig};
-use soma_core::parse_lfa;
-use soma_search::Evaluated;
+use soma_bench::{csv_rows, run_cells, LabEvent, RunConfig, CSV_HEADER};
 use soma_spec::read_experiment;
-
-fn row(cell: &soma_spec::ExperimentCell, scheme: &str, e: &Evaluated, evals: u64, rejected: u64) {
-    let plan = parse_lfa(&cell.net, &e.encoding.lfa).expect("reported scheme parses");
-    println!(
-        "{},{},{},{},{scheme},{},{:.1},{:.6e},{evals},{rejected},{},{},{},{}",
-        cell.id,
-        cell.workload,
-        cell.platform,
-        cell.batch,
-        e.report.latency_cycles,
-        e.report.energy.total_pj(),
-        e.cost,
-        plan.n_lgs(),
-        plan.flgs.len(),
-        plan.tiles.len(),
-        plan.dram_tensors.len()
-    );
-}
 
 fn main() {
     let rc = RunConfig::from_env_or_exit();
@@ -85,18 +65,11 @@ fn main() {
         spec.seeds.len(),
         spec.config.effort
     );
-    println!(
-        "scenario,workload,platform,batch,scheme,latency_cycles,energy_pj,cost,evals,rejected,\
-         lgs,flgs,tiles,dram_tensors"
-    );
-    let rows = run_cells(cells, &spec.config, &spec.seeds, |cell, out| {
-        eprintln!(
-            "[run] {}: best cost {:.3e}, latency {} cycles, {} evals",
-            cell.id, out.best.cost, out.best.report.latency_cycles, out.evals
-        );
+    println!("{CSV_HEADER}");
+    let rows = run_cells(cells, &spec.config, &spec.seeds, |ev| {
+        if let LabEvent::Finished { cell, cost, latency_cycles, evals, .. } = ev {
+            eprintln!("[run] {cell}: best cost {cost:.3e}, latency {latency_cycles} cycles, {evals} evals");
+        }
     });
-    for r in &rows {
-        row(&r.cell, "ours_1", &r.outcome.stage1, r.outcome.evals, r.outcome.rejected);
-        row(&r.cell, "ours_2", &r.outcome.best, r.outcome.evals, r.outcome.rejected);
-    }
+    print!("{}", csv_rows(&rows));
 }

@@ -7,9 +7,17 @@
 //! .config(spec.config.clone()).seeds(spec.seeds.clone()).run()` — no
 //! hidden seed salting, no effort rescaling. A committed `.soma` file
 //! plus this function *is* the run configuration.
+//!
+//! Progress flows through the same typed [`LabEvent`] stream the
+//! parallel, ledger-backed orchestrator ([`crate::lab`]) emits — here
+//! every cell is `Queued` then `Started`/`Finished` (never `Cached`;
+//! the sequential driver consults no ledger), which is also what makes
+//! the two paths directly comparable in the differential tests.
 
 use soma_search::{Scheduler, SearchConfig, SearchOutcome};
 use soma_spec::{ExperimentCell, ExperimentSpec};
+
+use crate::lab::{cell_key, LabEvent};
 
 /// One executed experiment cell.
 #[derive(Debug)]
@@ -20,13 +28,55 @@ pub struct ExperimentRow {
     pub outcome: SearchOutcome,
 }
 
-/// Runs every cell of the experiment in order, invoking `progress` after
-/// each finished cell. Deterministic: same spec text, same results.
+/// The CSV header shared by the `run` and `lab` binaries (golden files
+/// compare their output byte-for-byte).
+pub const CSV_HEADER: &str = "scenario,workload,platform,batch,scheme,latency_cycles,energy_pj,\
+                              cost,evals,rejected,lgs,flgs,tiles,dram_tensors";
+
+/// Renders one result row pair (`ours_1` stage-1 snapshot + `ours_2`
+/// final scheme) per cell, in cell order — the body under
+/// [`CSV_HEADER`]. Cached and freshly searched outcomes render
+/// identically because ledger persistence is lossless.
+pub fn csv_rows(rows: &[ExperimentRow]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let mut one =
+        |cell: &ExperimentCell, scheme: &str, e: &soma_search::Evaluated, r: &ExperimentRow| {
+            let plan =
+                soma_core::parse_lfa(&cell.net, &e.encoding.lfa).expect("reported scheme parses");
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{scheme},{},{:.1},{:.6e},{},{},{},{},{},{}",
+                cell.id,
+                cell.workload,
+                cell.platform,
+                cell.batch,
+                e.report.latency_cycles,
+                e.report.energy.total_pj(),
+                e.cost,
+                r.outcome.evals,
+                r.outcome.rejected,
+                plan.n_lgs(),
+                plan.flgs.len(),
+                plan.tiles.len(),
+                plan.dram_tensors.len()
+            );
+        };
+    for r in rows {
+        one(&r.cell, "ours_1", &r.outcome.stage1, r);
+        one(&r.cell, "ours_2", &r.outcome.best, r);
+    }
+    out
+}
+
+/// Runs every cell of the experiment in order, emitting [`LabEvent`]s.
+/// Deterministic: same spec text, same results, same event stream.
 pub fn run_experiment(
     spec: &ExperimentSpec,
-    progress: impl FnMut(&ExperimentCell, &SearchOutcome),
+    observer: impl FnMut(&LabEvent),
 ) -> Vec<ExperimentRow> {
-    run_cells(spec.cells(), &spec.config, &spec.seeds, progress)
+    run_cells(spec.cells(), &spec.config, &spec.seeds, observer)
 }
 
 /// Runs an explicit cell list (e.g. an experiment narrowed by the
@@ -35,16 +85,28 @@ pub fn run_cells(
     cells: Vec<ExperimentCell>,
     config: &SearchConfig,
     seeds: &[u64],
-    mut progress: impl FnMut(&ExperimentCell, &SearchOutcome),
+    mut observer: impl FnMut(&LabEvent),
 ) -> Vec<ExperimentRow> {
+    let keys: Vec<String> = cells.iter().map(|c| cell_key(c, config, seeds)).collect();
+    for (cell, key) in cells.iter().zip(&keys) {
+        observer(&LabEvent::Queued { cell: cell.id.clone(), hash: key.clone() });
+    }
     cells
         .into_iter()
-        .map(|cell| {
+        .zip(keys)
+        .map(|(cell, key)| {
+            observer(&LabEvent::Started { cell: cell.id.clone() });
             let outcome = Scheduler::new(&cell.net, &cell.hw)
                 .config(config.clone())
                 .seeds(seeds.iter().copied())
                 .run();
-            progress(&cell, &outcome);
+            observer(&LabEvent::Finished {
+                cell: cell.id.clone(),
+                hash: key,
+                cost: outcome.best.cost,
+                latency_cycles: outcome.best.report.latency_cycles,
+                evals: outcome.evals,
+            });
             ExperimentRow { cell, outcome }
         })
         .collect()
@@ -60,7 +122,7 @@ mod tests {
     fn spec_run_equals_hand_written_driver() {
         let text = "soma-experiment v1\nname t\nscenario fig2@edge/b1\nseeds 7\neffort 0.01\nend\n";
         let spec = read_experiment(text).unwrap();
-        let rows = run_experiment(&spec, |_, _| {});
+        let rows = run_experiment(&spec, |_| {});
         assert_eq!(rows.len(), 1);
 
         let net = soma_model::zoo::fig2(1);
@@ -72,5 +134,29 @@ mod tests {
         assert_eq!(got.best.report, direct.best.report);
         assert_eq!(got.best.cost.to_bits(), direct.best.cost.to_bits());
         assert_eq!(got.evals, direct.evals);
+    }
+
+    #[test]
+    fn sequential_driver_emits_the_lab_event_protocol() {
+        let text = "soma-experiment v1\nname t\nscenario fig2@edge/b1\nseeds 7\neffort 0.01\nend\n";
+        let spec = read_experiment(text).unwrap();
+        let mut events = Vec::new();
+        run_experiment(&spec, |ev| events.push(ev.clone()));
+        assert!(matches!(&events[0], LabEvent::Queued { cell, .. } if cell == "fig2@edge/b1"));
+        assert!(matches!(&events[1], LabEvent::Started { .. }));
+        assert!(matches!(&events[2], LabEvent::Finished { evals, .. } if *evals > 0));
+        assert_eq!(events.len(), 3, "no Cached events without a ledger");
+    }
+
+    #[test]
+    fn csv_rows_render_both_schemes_per_cell() {
+        let text = "soma-experiment v1\nname t\nscenario fig2@edge/b1\nseeds 7\neffort 0.01\nend\n";
+        let spec = read_experiment(text).unwrap();
+        let rows = run_experiment(&spec, |_| {});
+        let csv = csv_rows(&rows);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("fig2@edge/b1,fig2,edge-16tops,1,ours_1,"));
+        assert!(csv.contains(",ours_2,"));
+        assert_eq!(CSV_HEADER.split(',').count(), csv.lines().next().unwrap().split(',').count());
     }
 }

@@ -1,0 +1,554 @@
+//! The experiment orchestrator behind `soma-bench --bin lab`: parallel,
+//! resumable, cache-aware execution of an [`ExperimentSpec`].
+//!
+//! An experiment expands into (scenario × config × seed-portfolio)
+//! **cells**; [`run_lab`] executes them as a work queue:
+//!
+//! * **Cache-aware** — every cell is keyed by a content hash of
+//!   (scenario id, resolved hardware, [`SearchConfig`], seed portfolio,
+//!   [`soma_search::ENGINE_VERSION`]); cells whose key already sits in
+//!   the on-disk **run ledger** are served from it without any search
+//!   work ([`LabEvent::Cached`]).
+//! * **Resumable** — each completed cell is appended to the ledger (one
+//!   JSON line per cell) *in cell order* as soon as all earlier cells
+//!   have been written, so an interrupted run leaves a valid prefix and
+//!   a rerun picks up exactly where it stopped. A partially written
+//!   trailing line (a kill mid-append) is detected and dropped on load.
+//!   The final ledger of an interrupted-then-resumed run is
+//!   byte-identical to an uninterrupted one.
+//! * **Parallel with deterministic merge** — cell searches that miss the
+//!   ledger fan out through the `rayon` pool (sequential under the
+//!   offline vendored stub; restoring real rayon parallelises them with
+//!   no code change). Results are merged, the ledger written and
+//!   [`LabEvent::Cached`]/[`LabEvent::Finished`] observed in cell order
+//!   regardless of completion order, so parallel output is bit-identical
+//!   to the sequential [`run_experiment`](crate::run_experiment).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+use serde::json::{self, Value};
+use serde::{Deserialize, Serialize};
+use soma_search::record::{outcome_from_json, outcome_to_json, ENGINE_VERSION};
+use soma_search::{Scheduler, SearchConfig, SearchOutcome};
+use soma_spec::{cell_hash_hex, ExperimentCell, ExperimentSpec};
+
+use crate::ExperimentRow;
+
+/// Ledger line format version; bumping it invalidates old ledgers.
+pub const LEDGER_VERSION: u64 = 1;
+
+/// A typed progress event of the experiment orchestrator, mirroring the
+/// per-search [`SearchEvent`](soma_search::SearchEvent) one level up:
+/// events carry plain strings and numbers, serialise cheaply, and arrive
+/// **live**: `Queued` then `Cached` in cell order up front, `Started` as
+/// each search begins (execution order — nondeterministic under a real
+/// parallel pool, deterministic under the sequential stub), and
+/// `Finished` in cell order, each emitted the moment the cell's row
+/// lands in the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LabEvent {
+    /// A cell entered the work queue.
+    Queued {
+        /// The cell's scenario id.
+        cell: String,
+        /// The cell's ledger key (16 hex digits).
+        hash: String,
+    },
+    /// A cell was served from the run ledger — no search work.
+    Cached {
+        /// The cell's scenario id.
+        cell: String,
+        /// The ledger key that hit.
+        hash: String,
+    },
+    /// A cell's search started (ledger miss).
+    Started {
+        /// The cell's scenario id.
+        cell: String,
+    },
+    /// A cell's search finished and its row was appended to the ledger.
+    Finished {
+        /// The cell's scenario id.
+        cell: String,
+        /// The ledger key the row was stored under.
+        hash: String,
+        /// Best (envelope) cost of the cell's portfolio.
+        cost: f64,
+        /// Best latency in cycles.
+        latency_cycles: u64,
+        /// Completed schedule evaluations of the cell's portfolio.
+        evals: u64,
+    },
+}
+
+/// One persisted ledger row: the cell's identity plus its complete
+/// [`SearchOutcome`].
+#[derive(Debug, Clone)]
+pub struct LedgerRow {
+    /// The content hash this row is keyed by (16 hex digits).
+    pub hash: String,
+    /// Scenario id of the cell.
+    pub cell: String,
+    /// Canonical workload name.
+    pub workload: String,
+    /// Resolved platform name.
+    pub platform: String,
+    /// Batch size.
+    pub batch: u32,
+    /// The cell's search outcome, losslessly persisted.
+    pub outcome: SearchOutcome,
+}
+
+impl LedgerRow {
+    fn new(cell: &ExperimentCell, hash: &str, outcome: SearchOutcome) -> Self {
+        Self {
+            hash: hash.to_string(),
+            cell: cell.id.clone(),
+            workload: cell.workload.clone(),
+            platform: cell.platform.clone(),
+            batch: cell.batch,
+            outcome,
+        }
+    }
+
+    /// Renders the row as its single-line JSON ledger entry (no trailing
+    /// newline). Deterministic: equal rows render byte-identically.
+    pub fn to_line(&self) -> String {
+        let mut o = Value::obj();
+        o.push("v", LEDGER_VERSION.into());
+        o.push("hash", self.hash.as_str().into());
+        o.push("cell", self.cell.as_str().into());
+        o.push("workload", self.workload.as_str().into());
+        o.push("platform", self.platform.as_str().into());
+        o.push("batch", self.batch.into());
+        o.push("outcome", outcome_to_json(&self.outcome));
+        json::to_string(&o)
+    }
+
+    fn from_line(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
+        if version != LEDGER_VERSION {
+            return Err(format!("unsupported ledger version {version}"));
+        }
+        let text = |key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("missing `{key}`"))?
+                .to_string())
+        };
+        let batch = v.get("batch").and_then(Value::as_u64).ok_or("missing `batch`")?;
+        let outcome = outcome_from_json(v.get("outcome").ok_or("missing `outcome`")?)
+            .map_err(|e| e.to_string())?;
+        Ok(Self {
+            hash: text("hash")?,
+            cell: text("cell")?,
+            workload: text("workload")?,
+            platform: text("platform")?,
+            batch: u32::try_from(batch).map_err(|_| "batch exceeds u32".to_string())?,
+            outcome,
+        })
+    }
+}
+
+/// The on-disk run ledger: an append-only JSONL file mapping cell
+/// content hashes to persisted [`SearchOutcome`]s.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    rows: Vec<LedgerRow>,
+    index: HashMap<String, usize>,
+}
+
+impl Ledger {
+    /// Loads (or creates the notion of) the ledger at `path`. A missing
+    /// file is an empty ledger. A partially written trailing line — the
+    /// signature of a run killed mid-append — is dropped and truncated
+    /// away so subsequent appends continue from the last complete row.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a corrupt line *before* the last (which indicates
+    /// real damage rather than an interrupted append).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut ledger = Self { path: path.to_path_buf(), rows: Vec::new(), index: HashMap::new() };
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ledger),
+            Err(e) => return Err(e),
+        };
+
+        let mut keep_bytes = 0usize;
+        let mut offset = 0usize;
+        let lines: Vec<&str> = text.split('\n').collect();
+        for (i, line) in lines.iter().enumerate() {
+            let is_last = i + 1 == lines.len();
+            if line.is_empty() {
+                offset += 1;
+                continue;
+            }
+            match LedgerRow::from_line(line) {
+                Ok(row) => {
+                    let complete = !is_last; // `split` leaves no trailing '\n' on the last piece
+                    if !complete {
+                        break; // no newline after it: treat as torn write
+                    }
+                    ledger.index.insert(row.hash.clone(), ledger.rows.len());
+                    ledger.rows.push(row);
+                    offset += line.len() + 1;
+                    keep_bytes = offset;
+                }
+                Err(msg) if is_last => {
+                    // Torn trailing line: drop it.
+                    let _ = msg;
+                    break;
+                }
+                Err(msg) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: corrupt ledger line {}: {msg}", path.display(), i + 1),
+                    ));
+                }
+            }
+        }
+        if keep_bytes < text.len() {
+            // Truncate the torn tail so appends produce a clean file.
+            let f = fs::OpenOptions::new().write(true).open(path)?;
+            f.set_len(keep_bytes as u64)?;
+        }
+        Ok(ledger)
+    }
+
+    /// The ledger's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All rows, in file order.
+    pub fn rows(&self) -> &[LedgerRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the ledger holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a row by its cell content hash.
+    pub fn lookup(&self, hash: &str) -> Option<&LedgerRow> {
+        self.index.get(hash).map(|&i| &self.rows[i])
+    }
+
+    /// Appends one row, creating parent directories and the file on
+    /// first use, and flushes before returning.
+    fn append(&mut self, row: LedgerRow) -> io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        writeln!(f, "{}", row.to_line())?;
+        f.flush()?;
+        self.index.insert(row.hash.clone(), self.rows.len());
+        self.rows.push(row);
+        Ok(())
+    }
+}
+
+/// The ledger key of one experiment cell under a spec's configuration.
+pub fn cell_key(cell: &ExperimentCell, config: &SearchConfig, seeds: &[u64]) -> String {
+    cell_hash_hex(&cell.id, &cell.hw, config, seeds, ENGINE_VERSION)
+}
+
+/// What [`run_lab`] reports back.
+#[derive(Debug)]
+pub struct LabSummary {
+    /// One row per cell, in spec cell order (cached and fresh alike).
+    pub rows: Vec<ExperimentRow>,
+    /// Cells served from the ledger.
+    pub hits: usize,
+    /// Cells that ran a search (and were appended to the ledger).
+    pub misses: usize,
+}
+
+/// In-order ledger flusher: completed cells park in `ready` until every
+/// earlier miss has been written, so the ledger is an in-cell-order
+/// prefix at every instant (the resume guarantee) no matter which order
+/// the pool finishes in. The observer lives here too: `Started` events
+/// are forwarded live as jobs begin, and each cell's `Finished` event is
+/// emitted the moment its row lands in the ledger — live progress, in
+/// flush (cell) order. (Under real rayon this would require the
+/// observer to be `Send`; the offline stub runs everything on one
+/// thread, exactly like the portfolio observer in
+/// `soma_search::session`.)
+struct InOrderFlush<'l, 'o> {
+    ledger: &'l mut Ledger,
+    observer: &'o mut dyn FnMut(&LabEvent),
+    /// Position into the miss list of the next row to write.
+    next: usize,
+    ready: BTreeMap<usize, (LedgerRow, LabEvent)>,
+    err: Option<io::Error>,
+}
+
+impl InOrderFlush<'_, '_> {
+    fn complete(&mut self, miss_pos: usize, row: LedgerRow, done: LabEvent) {
+        self.ready.insert(miss_pos, (row, done));
+        while let Some((row, done)) = self.ready.remove(&self.next) {
+            self.next += 1;
+            // `Finished` asserts "this row landed in the ledger" — once
+            // an append has failed, later rows are neither written nor
+            // reported finished (run_lab surfaces the error instead).
+            if self.err.is_some() {
+                continue;
+            }
+            match self.ledger.append(row) {
+                Ok(()) => (self.observer)(&done),
+                Err(e) => self.err = Some(e),
+            }
+        }
+    }
+}
+
+/// Executes an experiment against the ledger at `ledger_path`.
+///
+/// Ledger-hit cells are served without search work; misses fan out
+/// through the `rayon` pool and append to the ledger in cell order. The
+/// observer sees [`LabEvent`]s in the deterministic order documented on
+/// the type. The returned rows are bit-identical to a sequential
+/// [`run_experiment`](crate::run_experiment) of the same spec.
+///
+/// # Errors
+///
+/// I/O errors loading or appending the ledger, or corrupt non-trailing
+/// ledger lines.
+pub fn run_lab(
+    spec: &ExperimentSpec,
+    ledger_path: &Path,
+    mut observer: impl FnMut(&LabEvent),
+) -> io::Result<LabSummary> {
+    let cells = spec.cells();
+    let keys: Vec<String> = cells.iter().map(|c| cell_key(c, &spec.config, &spec.seeds)).collect();
+    let mut ledger = Ledger::load(ledger_path)?;
+
+    for (cell, key) in cells.iter().zip(&keys) {
+        observer(&LabEvent::Queued { cell: cell.id.clone(), hash: key.clone() });
+    }
+
+    let mut outcomes: Vec<Option<SearchOutcome>> = vec![None; cells.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    // Within-run dedup: a spec can name the same cell twice (an explicit
+    // scenario that the workload grid also produces). Searching it twice
+    // would append two identical rows — which an interrupted rerun could
+    // never reproduce (both copies would hit the one surviving row), so
+    // one key searches once and owns one row; later duplicates are
+    // served from the first occurrence, like any other cache hit.
+    let mut duplicates: Vec<(usize, usize)> = Vec::new();
+    let mut first_claim: HashMap<&str, usize> = HashMap::new();
+    for (i, (cell, key)) in cells.iter().zip(&keys).enumerate() {
+        if let Some(row) = ledger.lookup(key) {
+            outcomes[i] = Some(row.outcome.clone());
+            observer(&LabEvent::Cached { cell: cell.id.clone(), hash: key.clone() });
+        } else if let Some(&first) = first_claim.get(key.as_str()) {
+            duplicates.push((i, first));
+            observer(&LabEvent::Cached { cell: cell.id.clone(), hash: key.clone() });
+        } else {
+            first_claim.insert(key, i);
+            misses.push(i);
+        }
+    }
+    let hits = cells.len() - misses.len();
+
+    // Fan the misses out. Events flow live through the shared flush
+    // state — `Started` as each job begins (execution order), `Finished`
+    // as each row lands in the ledger (cell order) — and ledger rows are
+    // written through the same in-order writer, so an interrupted run
+    // keeps every finished prefix cell.
+    let flush = Mutex::new(InOrderFlush {
+        ledger: &mut ledger,
+        observer: &mut observer,
+        next: 0,
+        ready: BTreeMap::new(),
+        err: None,
+    });
+    let finished: Vec<(usize, SearchOutcome)> = misses
+        .iter()
+        .enumerate()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(miss_pos, &cell_idx)| {
+            let cell = &cells[cell_idx];
+            let key = &keys[cell_idx];
+            {
+                let mut state = flush.lock().expect("ledger flusher poisoned");
+                (state.observer)(&LabEvent::Started { cell: cell.id.clone() });
+            }
+            let outcome = Scheduler::new(&cell.net, &cell.hw)
+                .config(spec.config.clone())
+                .seeds(spec.seeds.iter().copied())
+                .run();
+            let done = LabEvent::Finished {
+                cell: cell.id.clone(),
+                hash: key.clone(),
+                cost: outcome.best.cost,
+                latency_cycles: outcome.best.report.latency_cycles,
+                evals: outcome.evals,
+            };
+            let row = LedgerRow::new(cell, key, outcome.clone());
+            flush.lock().expect("ledger flusher poisoned").complete(miss_pos, row, done);
+            (cell_idx, outcome)
+        })
+        .collect();
+
+    let state = flush.into_inner().expect("ledger flusher poisoned");
+    if let Some(e) = state.err {
+        return Err(e);
+    }
+    debug_assert_eq!(state.next, misses.len(), "every miss was flushed");
+
+    for (cell_idx, outcome) in finished {
+        outcomes[cell_idx] = Some(outcome);
+    }
+    for (dup, first) in duplicates {
+        outcomes[dup] = outcomes[first].clone();
+    }
+
+    let rows = cells
+        .into_iter()
+        .zip(outcomes)
+        .map(|(cell, outcome)| ExperimentRow {
+            cell,
+            outcome: outcome.expect("every cell is a hit or a flushed miss"),
+        })
+        .collect();
+    Ok(LabSummary { rows, hits, misses: misses.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soma_spec::read_experiment;
+
+    const SPEC: &str = "soma-experiment v1\nname t\nscenario fig2@edge/b1\nseeds 7\n\
+                        effort 0.01\nend\n";
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("soma-lab-unit");
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn ledger_round_trips_rows() {
+        let spec = read_experiment(SPEC).unwrap();
+        let path = tmp("roundtrip.jsonl");
+        let _ = fs::remove_file(&path);
+        let first = run_lab(&spec, &path, |_| {}).unwrap();
+        assert_eq!((first.hits, first.misses), (0, 1));
+
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 1);
+        let row = &ledger.rows()[0];
+        assert_eq!(row.cell, "fig2@edge/b1");
+        assert_eq!(row.workload, "fig2");
+        assert_eq!(row.batch, 1);
+        assert_eq!(row.outcome.best.cost.to_bits(), first.rows[0].outcome.best.cost.to_bits());
+        // Line rendering is stable through a parse cycle.
+        let line = row.to_line();
+        assert_eq!(LedgerRow::from_line(&line).unwrap().to_line(), line);
+    }
+
+    #[test]
+    fn second_run_is_all_hits() {
+        let spec = read_experiment(SPEC).unwrap();
+        let path = tmp("hits.jsonl");
+        let _ = fs::remove_file(&path);
+        run_lab(&spec, &path, |_| {}).unwrap();
+        let before = fs::read(&path).unwrap();
+
+        let mut events = Vec::new();
+        let warm = run_lab(&spec, &path, |ev| events.push(ev.clone())).unwrap();
+        assert_eq!((warm.hits, warm.misses), (1, 0));
+        assert!(events.iter().any(|e| matches!(e, LabEvent::Cached { .. })));
+        assert!(!events.iter().any(|e| matches!(e, LabEvent::Started { .. })));
+        assert_eq!(fs::read(&path).unwrap(), before, "a warm run never writes");
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_repaired() {
+        let spec = read_experiment(SPEC).unwrap();
+        let path = tmp("torn.jsonl");
+        let _ = fs::remove_file(&path);
+        run_lab(&spec, &path, |_| {}).unwrap();
+        let intact = fs::read(&path).unwrap();
+
+        // Tear the tail off the only line: the ledger must load empty...
+        fs::write(&path, &intact[..intact.len() / 2]).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert!(ledger.is_empty());
+        assert_eq!(fs::read(&path).unwrap().len(), 0, "torn tail truncated");
+
+        // ...and a rerun reproduces the intact file byte-for-byte.
+        let again = run_lab(&spec, &path, |_| {}).unwrap();
+        assert_eq!((again.hits, again.misses), (0, 1));
+        assert_eq!(fs::read(&path).unwrap(), intact);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let path = tmp("corrupt.jsonl");
+        fs::write(&path, "garbage\n{\"v\":1}\n").unwrap();
+        let err = Ledger::load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_cells_search_once_and_share_one_ledger_row() {
+        // The same scenario listed twice collapses to one search and one
+        // ledger row; the second cell is served from the first. (Two
+        // identical rows would break the resume byte-identity: after an
+        // interruption both copies would hit the single surviving row.)
+        let text = "soma-experiment v1\nname dup\nscenario fig2@edge/b1\n\
+                    scenario fig2@edge/b1\nseeds 7\neffort 0.01\nend\n";
+        let spec = read_experiment(text).unwrap();
+        let path = tmp("dup.jsonl");
+        let _ = fs::remove_file(&path);
+
+        let mut events = Vec::new();
+        let cold = run_lab(&spec, &path, |ev| events.push(ev.clone())).unwrap();
+        assert_eq!((cold.hits, cold.misses), (1, 1), "duplicate served without search");
+        assert_eq!(events.iter().filter(|e| matches!(e, LabEvent::Started { .. })).count(), 1);
+        assert_eq!(Ledger::load(&path).unwrap().len(), 1, "one row per key");
+        assert_eq!(
+            cold.rows[0].outcome.best.cost.to_bits(),
+            cold.rows[1].outcome.best.cost.to_bits()
+        );
+
+        // And the rerun is total-recall: both cells hit the ledger.
+        let warm = run_lab(&spec, &path, |_| {}).unwrap();
+        assert_eq!((warm.hits, warm.misses), (2, 0));
+    }
+
+    #[test]
+    fn config_changes_miss_the_ledger() {
+        let spec = read_experiment(SPEC).unwrap();
+        let path = tmp("invalidate.jsonl");
+        let _ = fs::remove_file(&path);
+        run_lab(&spec, &path, |_| {}).unwrap();
+
+        let retuned = read_experiment(&SPEC.replace("effort 0.01", "effort 0.02")).unwrap();
+        let rerun = run_lab(&retuned, &path, |_| {}).unwrap();
+        assert_eq!((rerun.hits, rerun.misses), (0, 1), "new config, new cell key");
+        assert_eq!(Ledger::load(&path).unwrap().len(), 2, "both keys coexist");
+    }
+}

@@ -26,8 +26,10 @@
 //! complete run configuration and can be logged next to the results.
 
 pub mod experiment;
+pub mod lab;
 
-pub use experiment::{run_cells, run_experiment, ExperimentRow};
+pub use experiment::{csv_rows, run_cells, run_experiment, ExperimentRow, CSV_HEADER};
+pub use lab::{run_lab, LabEvent, LabSummary, Ledger, LedgerRow};
 
 use std::fmt;
 

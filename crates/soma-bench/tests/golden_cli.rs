@@ -1,0 +1,125 @@
+//! Golden-file tests for the `run` and `lab` binaries on committed
+//! `specs/*.soma`: stdout CSV and the lab run ledger are compared
+//! **byte-for-byte** against snapshots under `tests/golden/`.
+//!
+//! Regenerate the snapshots after an intentional behaviour change with:
+//!
+//! ```sh
+//! SOMA_BLESS=1 cargo test -p soma-bench --test golden_cli
+//! ```
+//!
+//! The two binaries must agree: for the same spec, `lab`'s CSV is
+//! compared against the *same* golden file as `run`'s — the orchestrator
+//! adds caching and parallelism, never different numbers. And a warm
+//! `lab` rerun (100 % ledger hits, enforced via `--require-hits`) must
+//! reproduce the cold CSV byte-for-byte from the ledger alone.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_spec(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs").join(name)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+fn bless() -> bool {
+    std::env::var_os("SOMA_BLESS").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Runs a harness binary with a scrubbed `SOMA_*` environment.
+fn run_bin(exe: &str, args: &[&str]) -> (String, String, bool) {
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    for knob in ["SOMA_EFFORT", "SOMA_SEED", "SOMA_FULL", "SOMA_THREADS", "SOMA_WORKLOAD"] {
+        cmd.env_remove(knob);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("cannot spawn {exe}: {e}"));
+    (
+        String::from_utf8(out.stdout).expect("binary stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("binary stderr is UTF-8"),
+        out.status.success(),
+    )
+}
+
+/// Compares `got` against the committed snapshot (or regenerates it
+/// under `SOMA_BLESS=1`).
+fn assert_golden(got: &[u8], golden: &str) {
+    let path = golden_path(golden);
+    if bless() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, got).expect("bless golden");
+        eprintln!("[golden] blessed {}", path.display());
+        return;
+    }
+    let want = fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with SOMA_BLESS=1 cargo test -p soma-bench \
+             --test golden_cli",
+            path.display()
+        )
+    });
+    assert!(
+        got == want.as_slice(),
+        "{golden} drifted from its committed snapshot.\n--- committed ---\n{}\n--- got ---\n{}\n\
+         If the change is intentional, rebless with SOMA_BLESS=1.",
+        String::from_utf8_lossy(&want),
+        String::from_utf8_lossy(got),
+    );
+}
+
+/// One spec through both binaries: `run` CSV matches the golden, `lab`
+/// cold CSV matches the *same* golden, the ledger matches its golden,
+/// and a warm `lab` pass is 100 % hits with identical output.
+fn check_spec(spec_file: &str, csv_golden: &str, ledger_golden: &str) {
+    let spec = repo_spec(spec_file);
+    let spec = spec.to_str().expect("utf-8 path");
+
+    let (run_csv, _, ok) = run_bin(env!("CARGO_BIN_EXE_run"), &[spec]);
+    assert!(ok, "run failed on {spec_file}");
+    assert_golden(run_csv.as_bytes(), csv_golden);
+
+    let ledger = tmp(&format!("golden-{spec_file}.ledger.jsonl"));
+    let _ = fs::remove_file(&ledger);
+    let ledger_arg = ledger.to_str().expect("utf-8 path");
+    let (cold_csv, _, ok) = run_bin(env!("CARGO_BIN_EXE_lab"), &[spec, "--ledger", ledger_arg]);
+    assert!(ok, "lab (cold) failed on {spec_file}");
+    assert_eq!(cold_csv, run_csv, "{spec_file}: lab CSV != run CSV");
+    assert_golden(&fs::read(&ledger).expect("ledger written"), ledger_golden);
+
+    let (warm_csv, warm_err, ok) =
+        run_bin(env!("CARGO_BIN_EXE_lab"), &[spec, "--ledger", ledger_arg, "--require-hits"]);
+    assert!(ok, "lab (warm) was not 100% hits on {spec_file}:\n{warm_err}");
+    assert_eq!(warm_csv, run_csv, "{spec_file}: warm lab CSV != cold CSV");
+    assert_golden(&fs::read(&ledger).expect("ledger intact"), ledger_golden);
+}
+
+#[test]
+fn golden_fig2_edge() {
+    check_spec("fig2_edge.soma", "fig2_edge.csv", "fig2_edge.ledger.jsonl");
+}
+
+#[test]
+fn golden_fig_pair_edge() {
+    check_spec("fig_pair_edge.soma", "fig_pair_edge.csv", "fig_pair_edge.ledger.jsonl");
+}
+
+/// `--require-hits` on a cold ledger must fail with exit status 3 — the
+/// contract CI's lab-smoke replay gate leans on.
+#[test]
+fn require_hits_fails_cold() {
+    let spec = repo_spec("fig2_edge.soma");
+    let ledger = tmp("golden-require-hits-cold.jsonl");
+    let _ = fs::remove_file(&ledger);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lab"));
+    cmd.args([spec.to_str().unwrap(), "--ledger", ledger.to_str().unwrap(), "--require-hits"]);
+    let out = cmd.output().expect("spawn lab");
+    assert_eq!(out.status.code(), Some(3), "cold --require-hits must exit 3");
+}

@@ -1,0 +1,193 @@
+//! Differential and resume tests for the `lab` orchestrator.
+//!
+//! * **Differential** — `run_lab` (parallel work-queue + ledger) must
+//!   equal the sequential `run_experiment` **bit-for-bit**: same rows,
+//!   same envelope bests, same ledger content — for every registry
+//!   scenario of the differential workload set at tiny effort. The
+//!   property is workload-agnostic (both paths drive the identical
+//!   `Scheduler` portfolio per cell), so the set uses the registry's
+//!   small figure workloads across *all* presets and batches, plus one
+//!   real CNN as a depth probe, keeping the suite fast.
+//! * **Resume** — an interrupted run (ledger truncated mid-spec) that is
+//!   rerun must produce a ledger byte-identical to an uninterrupted run,
+//!   serving the surviving prefix from the ledger (`LabEvent::Cached`,
+//!   never `Started`) without re-searching it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use soma_bench::{run_experiment, run_lab, ExperimentRow, LabEvent, Ledger};
+use soma_search::{Evaluated, SearchConfig};
+use soma_spec::registry::scenarios;
+use soma_spec::{read_experiment, ExperimentSpec};
+
+fn tmp(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+fn fresh(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let _ = fs::remove_file(&path);
+    path
+}
+
+fn assert_evaluated_eq(cell: &str, which: &str, a: &Evaluated, b: &Evaluated) {
+    assert_eq!(a.encoding, b.encoding, "{cell}: {which} encoding");
+    assert_eq!(a.report, b.report, "{cell}: {which} report");
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{cell}: {which} cost");
+}
+
+fn assert_rows_eq(a: &[ExperimentRow], b: &[ExperimentRow]) {
+    assert_eq!(a.len(), b.len(), "row counts");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.cell.id, y.cell.id, "cell order");
+        assert_evaluated_eq(&x.cell.id, "stage1", &x.outcome.stage1, &y.outcome.stage1);
+        assert_evaluated_eq(&x.cell.id, "best", &x.outcome.best, &y.outcome.best);
+        assert_eq!(x.outcome.allocator_iters, y.outcome.allocator_iters, "{}", x.cell.id);
+        assert_eq!(x.outcome.evals, y.outcome.evals, "{}", x.cell.id);
+        assert_eq!(x.outcome.rejected, y.outcome.rejected, "{}", x.cell.id);
+    }
+}
+
+/// The differential workload set: every registry point of the two small
+/// figure networks over the quick batch grid {1, 4} (2 workloads x 2
+/// presets x 2 batches = 8 cells; the b16/b64 points cost debug-build
+/// minutes for no extra path coverage — tile counts change, code paths
+/// do not), plus ResNet-50 on edge at batch 1 as the non-toy probe.
+fn differential_spec() -> ExperimentSpec {
+    let mut cells: Vec<_> = scenarios()
+        .into_iter()
+        .filter(|s| (s.workload == "fig2" || s.workload == "fig4") && s.batch <= 4)
+        .collect();
+    assert_eq!(cells.len(), 8, "two figure workloads x both presets x the quick batch grid");
+    cells.push(soma_spec::registry::lookup("resnet50@edge/b1").expect("registry id"));
+    ExperimentSpec {
+        name: "differential".into(),
+        scenarios: cells,
+        workloads: vec![],
+        hardware: vec![],
+        batches: vec![],
+        seeds: vec![2025],
+        config: SearchConfig { effort: 0.005, seed: 2025, ..SearchConfig::default() },
+    }
+}
+
+#[test]
+fn lab_matches_sequential_run_experiment_bit_for_bit() {
+    let spec = differential_spec();
+    let sequential = run_experiment(&spec, |_| {});
+
+    let ledger_path = fresh("differential.ledger.jsonl");
+    let cold = run_lab(&spec, &ledger_path, |_| {}).expect("cold lab run");
+    assert_eq!((cold.hits, cold.misses), (0, spec.cells().len()));
+    assert_rows_eq(&sequential, &cold.rows);
+
+    // The persisted ledger holds the same outcomes, row per cell in cell
+    // order — "same ledger rows" down to the serialised bits.
+    let ledger = Ledger::load(&ledger_path).expect("ledger loads");
+    assert_eq!(ledger.len(), sequential.len());
+    for (row, led) in sequential.iter().zip(ledger.rows()) {
+        assert_eq!(row.cell.id, led.cell);
+        assert_eq!(row.cell.workload, led.workload);
+        assert_eq!(row.cell.platform, led.platform);
+        assert_eq!(row.cell.batch, led.batch);
+        assert_evaluated_eq(&led.cell, "ledger best", &row.outcome.best, &led.outcome.best);
+        assert_evaluated_eq(&led.cell, "ledger stage1", &row.outcome.stage1, &led.outcome.stage1);
+    }
+
+    // And the warm (all-cached) pass replays the identical rows.
+    let warm = run_lab(&spec, &ledger_path, |_| {}).expect("warm lab run");
+    assert_eq!((warm.hits, warm.misses), (spec.cells().len(), 0));
+    assert_rows_eq(&sequential, &warm.rows);
+}
+
+/// The committed two-scenario campaign spec, as the resume tests use it.
+fn fig_pair() -> ExperimentSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/fig_pair_edge.soma");
+    let text = fs::read_to_string(path).expect("committed spec exists");
+    read_experiment(&text).expect("committed spec parses")
+}
+
+#[test]
+fn interrupted_run_resumes_to_a_byte_identical_ledger() {
+    let spec = fig_pair();
+
+    // Reference: one uninterrupted run.
+    let intact_path = fresh("resume-intact.ledger.jsonl");
+    let intact = run_lab(&spec, &intact_path, |_| {}).expect("uninterrupted run");
+    assert_eq!((intact.hits, intact.misses), (0, 2));
+    let intact_bytes = fs::read(&intact_path).expect("intact ledger");
+
+    // "Interrupt" a second run after its first cell: truncate the ledger
+    // to its first line (exactly what a kill between cells leaves).
+    let resumed_path = fresh("resume-cut.ledger.jsonl");
+    run_lab(&spec, &resumed_path, |_| {}).expect("run to interrupt");
+    let full = fs::read_to_string(&resumed_path).expect("ledger");
+    let first_line_end = full.find('\n').expect("at least one row") + 1;
+    fs::write(&resumed_path, &full.as_bytes()[..first_line_end]).expect("truncate");
+
+    // Resume. The surviving cell must be served from the ledger (Cached,
+    // never Started => not re-searched), the lost cell re-run.
+    let mut events = Vec::new();
+    let resumed = run_lab(&spec, &resumed_path, |ev| events.push(ev.clone())).expect("resume");
+    assert_eq!((resumed.hits, resumed.misses), (1, 1));
+    let first = &spec.cells()[0].id;
+    let second = &spec.cells()[1].id;
+    assert!(
+        events.iter().any(|e| matches!(e, LabEvent::Cached { cell, .. } if cell == first)),
+        "surviving cell served from the ledger: {events:?}"
+    );
+    assert!(
+        !events.iter().any(|e| matches!(e, LabEvent::Started { cell } if cell == first)),
+        "surviving cell must not be re-searched: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e, LabEvent::Started { cell } if cell == second)),
+        "lost cell re-runs: {events:?}"
+    );
+
+    // The resumed ledger is byte-identical to the uninterrupted one.
+    assert_eq!(fs::read(&resumed_path).expect("resumed ledger"), intact_bytes);
+    assert_rows_eq(&intact.rows, &resumed.rows);
+}
+
+#[test]
+fn kill_mid_append_resumes_cleanly() {
+    // Harsher interruption: the ledger is cut mid-line (a torn write).
+    let spec = fig_pair();
+    let intact_path = fresh("torn-intact.ledger.jsonl");
+    run_lab(&spec, &intact_path, |_| {}).expect("reference run");
+    let intact_bytes = fs::read(&intact_path).expect("intact ledger");
+
+    let torn_path = fresh("torn-cut.ledger.jsonl");
+    run_lab(&spec, &torn_path, |_| {}).expect("run to tear");
+    let full = fs::read(&torn_path).expect("ledger");
+    let first_line_end = full.iter().position(|&b| b == b'\n').expect("row") + 1;
+    // Keep the first complete row plus half of the second.
+    let cut = first_line_end + (full.len() - first_line_end) / 2;
+    fs::write(&torn_path, &full[..cut]).expect("tear");
+
+    let resumed = run_lab(&spec, &torn_path, |_| {}).expect("resume after tear");
+    assert_eq!((resumed.hits, resumed.misses), (1, 1), "torn row dropped, complete row kept");
+    assert_eq!(fs::read(&torn_path).expect("repaired ledger"), intact_bytes);
+}
+
+#[test]
+fn rerunning_a_finished_spec_does_zero_search_work() {
+    let spec = fig_pair();
+    let path = fresh("replay.ledger.jsonl");
+    run_lab(&spec, &path, |_| {}).expect("cold run");
+    let bytes = fs::read(&path).expect("ledger");
+
+    let mut events = Vec::new();
+    let warm = run_lab(&spec, &path, |ev| events.push(ev.clone())).expect("warm run");
+    assert_eq!((warm.hits, warm.misses), (2, 0), "all cells are ledger hits");
+    assert!(!events.iter().any(|e| matches!(e, LabEvent::Started { .. })), "{events:?}");
+    assert!(!events.iter().any(|e| matches!(e, LabEvent::Finished { .. })), "{events:?}");
+    assert_eq!(
+        events.iter().filter(|e| matches!(e, LabEvent::Cached { .. })).count(),
+        2,
+        "{events:?}"
+    );
+    assert_eq!(fs::read(&path).expect("ledger"), bytes, "a replay never writes");
+}

@@ -49,6 +49,8 @@
 //!   the compiled engine (apply/undo mutation tokens, incrementally
 //!   maintained buffer profile, zero-allocation evaluation).
 //! * [`allocator`] — the outcome type and the blocking [`schedule`] shim.
+//! * [`record`] — lossless, deterministic [`SearchOutcome`] ⇄ JSON
+//!   conversion for the experiment run ledger, plus [`ENGINE_VERSION`].
 //! * [`cocco`] — the restricted baseline: FLC set == DRAM cut set,
 //!   KC-parallelism heuristic tiling, double-buffer DLSA.
 //! * [`sweep`] — design-space exploration grids over hardware points.
@@ -58,6 +60,7 @@ pub mod cocco;
 pub mod dlsa_stage;
 pub mod lfa_stage;
 pub mod objective;
+pub mod record;
 pub mod sa;
 pub mod session;
 pub mod stage;
@@ -68,6 +71,7 @@ pub use cocco::{cocco_tiling, schedule_cocco, CoccoStage};
 pub use dlsa_stage::{DlsaEditor, DlsaMove, DlsaStage, SizeWeightedPicker};
 pub use lfa_stage::LfaStage;
 pub use objective::{CostWeights, Evaluated, Objective};
+pub use record::{outcome_from_str, outcome_to_string, RecordError, ENGINE_VERSION};
 pub use sa::{anneal, anneal_inplace, AnnealState, SaResult, SaSchedule};
 pub use session::{Scheduler, SearchEvent, SearchSession, StepOutcome};
 pub use stage::{RoundCtx, SearchStage, StageArtifact, StageSpec};

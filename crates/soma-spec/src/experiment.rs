@@ -292,6 +292,12 @@ pub fn read_experiment(text: &str) -> Result<ExperimentSpec, SpecError> {
                 seen("weights", head.line, head.col)?;
                 config.weights.energy_exp = energy.parse("a number")?;
                 config.weights.delay_exp = delay.parse("a number")?;
+                if !config.weights.energy_exp.is_finite() {
+                    return Err(energy.err("`weights` must be finite"));
+                }
+                if !config.weights.delay_exp.is_finite() {
+                    return Err(delay.err("`weights` must be finite"));
+                }
             }
             key @ ("effort"
             | "t0"
@@ -309,21 +315,30 @@ pub fn read_experiment(text: &str) -> Result<ExperimentSpec, SpecError> {
                     "effort" => {
                         seen("effort", head.line, head.col)?;
                         config.effort = value.parse("a positive number")?;
-                        if config.effort <= 0.0 {
-                            return Err(value.err("effort must be positive"));
+                        if !(config.effort.is_finite() && config.effort > 0.0) {
+                            return Err(value.err("effort must be positive and finite"));
                         }
                     }
                     "t0" => {
                         seen("t0", head.line, head.col)?;
                         config.t0 = value.parse("a number")?;
+                        if !config.t0.is_finite() {
+                            return Err(value.err("`t0` must be finite"));
+                        }
                     }
                     "alpha" => {
                         seen("alpha", head.line, head.col)?;
                         config.alpha = value.parse("a number")?;
+                        if !config.alpha.is_finite() {
+                            return Err(value.err("`alpha` must be finite"));
+                        }
                     }
                     "allocator_step" => {
                         seen("allocator_step", head.line, head.col)?;
                         config.allocator_step = value.parse("a number")?;
+                        if !config.allocator_step.is_finite() || config.allocator_step < 0.0 {
+                            return Err(value.err("`allocator_step` must be finite and >= 0"));
+                        }
                     }
                     "max_allocator_iters" => {
                         seen("max_allocator_iters", head.line, head.col)?;
@@ -348,8 +363,10 @@ pub fn read_experiment(text: &str) -> Result<ExperimentSpec, SpecError> {
                     "time_budget" => {
                         seen("time_budget", head.line, head.col)?;
                         config.stage_time_budget_secs = value.parse("seconds")?;
-                        if config.stage_time_budget_secs < 0.0 {
-                            return Err(value.err("`time_budget` must be >= 0"));
+                        if !config.stage_time_budget_secs.is_finite()
+                            || config.stage_time_budget_secs < 0.0
+                        {
+                            return Err(value.err("`time_budget` must be finite and >= 0"));
                         }
                     }
                     _ => unreachable!("guarded by the outer match arm"),

@@ -173,14 +173,49 @@ impl HwField {
         ) -> Result<T, SpecError> {
             value.parse().map_err(|_| err(format!("`{key}` expects a number, got `{value}`")))
         }
+        /// A rate like `tops`/`dram_gbps`: positive, finite, sane. The
+        /// builder's unit conversions divide and round through these, so
+        /// a `NaN`/`inf`/0 here must die at parse time with a located
+        /// error, not surface later as a panic (or a zero-capacity
+        /// config) when the spec is resolved.
+        fn rate(
+            value: &str,
+            key: &str,
+            err: &impl Fn(String) -> SpecError,
+        ) -> Result<f64, SpecError> {
+            let v: f64 = num(value, key, err)?;
+            if !v.is_finite() || v <= 0.0 || v > 1e9 {
+                return Err(err(format!(
+                    "`{key}` expects a positive finite number (at most 1e9), got `{value}`"
+                )));
+            }
+            Ok(v)
+        }
+        fn positive<T: std::str::FromStr + PartialOrd + Default>(
+            value: &str,
+            key: &str,
+            err: &impl Fn(String) -> SpecError,
+        ) -> Result<T, SpecError> {
+            let v: T = num(value, key, err)?;
+            if v <= T::default() {
+                return Err(err(format!("`{key}` must be positive, got `{value}`")));
+            }
+            Ok(v)
+        }
         Ok(Some(match key {
             "name" => HwField::Name(value.to_string()),
-            "freq_hz" => HwField::FreqHz(num(value, key, &err)?),
-            "tops" => HwField::Tops(num(value, key, &err)?),
-            "cores" => HwField::Cores(num(value, key, &err)?),
-            "buffer_mib" => HwField::BufferMib(num(value, key, &err)?),
-            "buffer_bytes" => HwField::BufferBytes(num(value, key, &err)?),
-            "dram_gbps" => HwField::DramGbps(num(value, key, &err)?),
+            "freq_hz" => HwField::FreqHz(positive(value, key, &err)?),
+            "tops" => HwField::Tops(rate(value, key, &err)?),
+            "cores" => HwField::Cores(positive(value, key, &err)?),
+            "buffer_mib" => {
+                let v: u64 = positive(value, key, &err)?;
+                if v > 1 << 20 {
+                    return Err(err(format!("`{key}` must be at most {} (1 TiB)", 1u64 << 20)));
+                }
+                HwField::BufferMib(v)
+            }
+            "buffer_bytes" => HwField::BufferBytes(positive(value, key, &err)?),
+            "dram_gbps" => HwField::DramGbps(rate(value, key, &err)?),
             "macs_per_cycle" => HwField::MacsPerCycle(num(value, key, &err)?),
             "kc_parallel" => HwField::KcParallel(num(value, key, &err)?),
             "spatial_parallel" => HwField::SpatialParallel(num(value, key, &err)?),

@@ -1,0 +1,176 @@
+//! Stable content hashing for experiment cells — the run ledger's cache
+//! key.
+//!
+//! A ledger row may only be reused when *everything* that determines a
+//! cell's search outcome is unchanged: the scenario (network + batch via
+//! its id), the fully resolved hardware configuration (so an override
+//! like `buffer_mib=16` produces a different key than the bare preset),
+//! the complete [`SearchConfig`], the seed portfolio, and the engine
+//! version ([`soma_search::ENGINE_VERSION`], bumped whenever search
+//! semantics change). The hash is an FNV-1a 64 over a canonical
+//! `key=value` rendering of all of those — deterministic across runs,
+//! processes and platforms, and independent of struct layout.
+//!
+//! Floats render through Rust's shortest-round-trip `Display`, so two
+//! configurations hash equally iff their values are bit-equal (modulo
+//! `-0.0`/`0.0`, which never occur in configs).
+
+use std::fmt::Write as _;
+
+use soma_arch::HardwareConfig;
+use soma_search::SearchConfig;
+
+/// FNV-1a 64-bit over a byte string.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Canonical `key=value` rendering of a resolved hardware configuration:
+/// every field, in declaration order. Two configurations fingerprint
+/// equally iff they are `==`.
+pub fn hardware_fingerprint(hw: &HardwareConfig) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "name={};freq_hz={};cores={};macs_per_cycle={};kc_parallel={};spatial_parallel={};\
+         vector_lanes={};buffer_bytes={};gbuf_bytes_per_cycle={};dram_bytes_per_cycle={};\
+         wl0_bytes={};al0_bytes={};mac_pj={};vector_pj={};gbuf_pj_per_byte={};l0_pj_per_byte={};\
+         dram_read_pj_per_byte={};dram_write_pj_per_byte={}",
+        hw.name,
+        hw.freq_hz,
+        hw.cores,
+        hw.macs_per_cycle,
+        hw.kc_parallel,
+        hw.spatial_parallel,
+        hw.vector_lanes,
+        hw.buffer_bytes,
+        hw.gbuf_bytes_per_cycle,
+        hw.dram_bytes_per_cycle,
+        hw.wl0_bytes,
+        hw.al0_bytes,
+        hw.energy.mac_pj,
+        hw.energy.vector_pj,
+        hw.energy.gbuf_pj_per_byte,
+        hw.energy.l0_pj_per_byte,
+        hw.energy.dram_read_pj_per_byte,
+        hw.energy.dram_write_pj_per_byte,
+    );
+    s
+}
+
+/// Canonical `key=value` rendering of a complete search configuration.
+pub fn config_fingerprint(cfg: &SearchConfig) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "energy_exp={};delay_exp={};seed={};effort={};t0={};alpha={};allocator_step={};\
+         max_allocator_iters={};stage1_cap={};stage2_cap={};link_cuts={};time_budget={}",
+        cfg.weights.energy_exp,
+        cfg.weights.delay_exp,
+        cfg.seed,
+        cfg.effort,
+        cfg.t0,
+        cfg.alpha,
+        cfg.allocator_step,
+        cfg.max_allocator_iters,
+        cfg.stage1_cap,
+        cfg.stage2_cap,
+        u8::from(cfg.link_cuts),
+        cfg.stage_time_budget_secs,
+    );
+    s
+}
+
+/// The content hash of one experiment cell under one search
+/// configuration, seed portfolio and engine version.
+pub fn cell_hash(
+    cell_id: &str,
+    hw: &HardwareConfig,
+    cfg: &SearchConfig,
+    seeds: &[u64],
+    engine_version: &str,
+) -> u64 {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "cell={cell_id}\u{1f}hw={}\u{1f}cfg={}\u{1f}seeds=",
+        hardware_fingerprint(hw),
+        config_fingerprint(cfg)
+    );
+    for (i, seed) in seeds.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{seed}");
+    }
+    let _ = write!(s, "\u{1f}engine={engine_version}");
+    fnv1a(s.bytes())
+}
+
+/// [`cell_hash`] rendered as the 16-hex-digit ledger key.
+pub fn cell_hash_hex(
+    cell_id: &str,
+    hw: &HardwareConfig,
+    cfg: &SearchConfig,
+    seeds: &[u64],
+    engine_version: &str,
+) -> String {
+    format!("{:016x}", cell_hash(cell_id, hw, cfg, seeds, engine_version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (HardwareConfig, SearchConfig) {
+        (HardwareConfig::edge(), SearchConfig::default())
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let (hw, cfg) = base();
+        let a = cell_hash("fig2@edge/b1", &hw, &cfg, &[1, 2], "e1");
+        let b = cell_hash("fig2@edge/b1", &hw, &cfg, &[1, 2], "e1");
+        assert_eq!(a, b);
+        assert_eq!(cell_hash_hex("fig2@edge/b1", &hw, &cfg, &[1, 2], "e1"), format!("{a:016x}"));
+    }
+
+    #[test]
+    fn every_input_perturbs_the_hash() {
+        let (hw, cfg) = base();
+        let k = cell_hash("fig2@edge/b1", &hw, &cfg, &[1], "e1");
+        assert_ne!(k, cell_hash("fig2@edge/b4", &hw, &cfg, &[1], "e1"), "cell id");
+        assert_ne!(k, cell_hash("fig2@edge/b1", &HardwareConfig::cloud(), &cfg, &[1], "e1"), "hw");
+        let fat = HardwareConfig::builder().like(&hw).buffer_mib(16).build();
+        assert_ne!(k, cell_hash("fig2@edge/b1", &fat, &cfg, &[1], "e1"), "hw override");
+        let tuned = SearchConfig { effort: 0.5, ..cfg.clone() };
+        assert_ne!(k, cell_hash("fig2@edge/b1", &hw, &tuned, &[1], "e1"), "config");
+        assert_ne!(k, cell_hash("fig2@edge/b1", &hw, &cfg, &[2], "e1"), "seeds");
+        assert_ne!(k, cell_hash("fig2@edge/b1", &hw, &cfg, &[1, 2], "e1"), "seed count");
+        assert_ne!(k, cell_hash("fig2@edge/b1", &hw, &cfg, &[1], "e2"), "engine version");
+    }
+
+    #[test]
+    fn seed_list_order_matters() {
+        // The envelope best tie-breaks by list order, so [1,2] and [2,1]
+        // are different experiments.
+        let (hw, cfg) = base();
+        assert_ne!(
+            cell_hash("fig2@edge/b1", &hw, &cfg, &[1, 2], "e1"),
+            cell_hash("fig2@edge/b1", &hw, &cfg, &[2, 1], "e1"),
+        );
+    }
+
+    #[test]
+    fn fingerprints_cover_equality() {
+        let (hw, cfg) = base();
+        assert_eq!(hardware_fingerprint(&hw), hardware_fingerprint(&HardwareConfig::edge()));
+        assert_ne!(hardware_fingerprint(&hw), hardware_fingerprint(&HardwareConfig::cloud()));
+        assert_eq!(config_fingerprint(&cfg), config_fingerprint(&SearchConfig::default()));
+    }
+}

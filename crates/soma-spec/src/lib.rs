@@ -72,11 +72,13 @@
 pub mod error;
 pub mod experiment;
 pub mod hardware;
+pub mod hash;
 pub mod network;
 pub mod registry;
 
 pub use error::SpecError;
 pub use experiment::{read_experiment, write_experiment, ExperimentCell, ExperimentSpec};
 pub use hardware::{read_hardware, write_hardware, HardwareSpec, HwField, Preset};
+pub use hash::{cell_hash, cell_hash_hex};
 pub use network::{read_network, write_network};
 pub use registry::{scenario_id, scenarios, Scenario};

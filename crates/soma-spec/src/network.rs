@@ -46,6 +46,18 @@ use soma_model::{EltOp, LayerKind, Network, NetworkBuilder, Src, VecOp};
 
 use crate::error::{body_lines, SpecError, Token};
 
+/// Parse-time bounds. The grammar rejects values past these with a
+/// located error instead of letting the builder's shape/weight
+/// arithmetic overflow or its invariants panic — a parser must never
+/// panic, whatever the input (pinned by the fuzz suite in
+/// `tests/fuzz_parsers.rs`). Every zoo network sits far inside them.
+const MAX_DIM: u32 = 16_384;
+const MAX_COUT: u32 = 16_384;
+const MAX_KERNEL: u32 = 256;
+const MAX_STRIDE: u32 = 256;
+const MAX_PRECISION: u32 = 64;
+const MAX_SOURCES: usize = 64;
+
 fn elt_op_id(op: EltOp) -> &'static str {
     match op {
         EltOp::Add => "add",
@@ -250,16 +262,18 @@ fn parse_shape(tok: &Token<'_>) -> Result<soma_model::FmapShape, SpecError> {
     if n == 0 || c == 0 || h == 0 || w == 0 {
         return Err(tok.err("shape dimensions must be non-zero"));
     }
+    if [n, c, h, w].iter().any(|&d| d > MAX_DIM) {
+        return Err(tok.err(format!("shape dimensions must be at most {MAX_DIM}")));
+    }
     Ok(soma_model::FmapShape::new(n, c, h, w))
 }
 
 /// Parses a conv `k=<kh>x<kw>` kernel (a bare `k=<k>` means square).
 fn parse_kernel(tok: &Token<'_>, val: &str) -> Result<(u32, u32), SpecError> {
     let parse = |s: &str| {
-        s.parse::<u32>()
-            .ok()
-            .filter(|&k| k > 0)
-            .ok_or_else(|| tok.err(format!("`k=` expects positive integers, got `{val}`")))
+        s.parse::<u32>().ok().filter(|&k| k > 0 && k <= MAX_KERNEL).ok_or_else(|| {
+            tok.err(format!("`k=` expects positive integers up to {MAX_KERNEL}, got `{val}`"))
+        })
     };
     match val.split_once('x') {
         Some((h, w)) => Ok((parse(h)?, parse(w)?)),
@@ -283,6 +297,10 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
     let mut precision: Option<u32> = None;
     let mut builder: Option<NetworkBuilder> = None;
     let mut symbols: HashMap<String, Src> = HashMap::new();
+    // Batch (`n`) of every named value, tracked so multi-source lines can
+    // reject batch mismatches here — `Network::validate` treats them as
+    // structural corruption and the builder would panic on them.
+    let mut batch_of: HashMap<String, u32> = HashMap::new();
     let mut last_line = 1usize;
     let mut ended = false;
 
@@ -308,6 +326,9 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                 let p: u32 = value.parse("a positive integer")?;
                 if p == 0 {
                     return Err(value.err("precision must be at least one byte"));
+                }
+                if p > MAX_PRECISION {
+                    return Err(value.err(format!("precision must be at most {MAX_PRECISION}")));
                 }
                 if builder.is_some() {
                     return Err(head.err("`precision` must precede the first graph line"));
@@ -369,8 +390,10 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                     let [_, _, shape] = toks[..] else {
                         return Err(head.err("expected `input <name> <NxCxHxW>`"));
                     };
-                    let src = b.external(parse_shape(&shape)?);
+                    let parsed = parse_shape(&shape)?;
+                    let src = b.external(parsed);
                     symbols.insert(nm.text.to_string(), src);
+                    batch_of.insert(nm.text.to_string(), parsed.n);
                     continue;
                 }
 
@@ -387,11 +410,30 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                     _ => (None, &toks[2..]),
                 };
                 let (src_toks, kv_toks) = split_from(tail, head.line, nm.col + nm.text.len())?;
+                if src_toks.len() > MAX_SOURCES {
+                    return Err(src_toks[MAX_SOURCES]
+                        .err(format!("a line takes at most {MAX_SOURCES} sources")));
+                }
                 let mut srcs = Vec::with_capacity(src_toks.len());
                 for s in src_toks {
                     let Some(&src) = symbols.get(s.text) else {
                         return Err(s.err(format!("undefined name `{}`", s.text)));
                     };
+                    // Mirror `Network::validate`'s batch invariant at
+                    // parse time (the builder would panic on it later):
+                    // every *layer* source must share the batch the new
+                    // layer inherits from its first source. Externals
+                    // are exempt, exactly as in `validate` — a batch-1
+                    // external operand against a batch-N stream is a
+                    // valid builder network and must keep round-tripping.
+                    let n = batch_of[s.text];
+                    let n0 = batch_of[src_toks[0].text];
+                    if matches!(src, Src::Layer(_)) && n != n0 {
+                        return Err(s.err(format!(
+                            "batch mismatch: `{}` has batch {n}, but `{}` has batch {n0}",
+                            s.text, src_toks[0].text
+                        )));
+                    }
                     srcs.push(src);
                 }
                 let mut kv = KvArgs::new(head.line, head.col, kv_toks)?;
@@ -414,6 +456,12 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                         if cout == 0 || stride == 0 {
                             return Err(head.err("`cout=`/`stride=` must be positive"));
                         }
+                        if cout > MAX_COUT || stride > MAX_STRIDE {
+                            return Err(head.err(format!(
+                                "`cout=` must be at most {MAX_COUT} and `stride=` at most \
+                                 {MAX_STRIDE}"
+                            )));
+                        }
                         b.conv_rect(nm.text, &srcs, cout, kh, kw, stride)
                     }
                     "dwconv" | "pool" => {
@@ -421,6 +469,12 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                         let stride: u32 = kv.require("stride", "a positive integer")?;
                         if k == 0 || stride == 0 {
                             return Err(head.err("`k=`/`stride=` must be positive"));
+                        }
+                        if k > MAX_KERNEL || stride > MAX_STRIDE {
+                            return Err(head.err(format!(
+                                "`k=` must be at most {MAX_KERNEL} and `stride=` at most \
+                                 {MAX_STRIDE}"
+                            )));
                         }
                         let input = one_src(&srcs)?;
                         if directive == "dwconv" {
@@ -432,16 +486,16 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                     "gpool" => b.global_pool(nm.text, one_src(&srcs)?),
                     "linear" => {
                         let cout: u32 = kv.require("cout", "a positive integer")?;
-                        if cout == 0 {
-                            return Err(head.err("`cout=` must be positive"));
+                        if cout == 0 || cout > MAX_COUT {
+                            return Err(head.err(format!("`cout=` must be in 1..={MAX_COUT}")));
                         }
                         b.linear(nm.text, &srcs, cout)
                     }
                     "matmul" => {
                         let cout: u32 = kv.require("cout", "a positive integer")?;
                         let dram: u64 = kv.optional("dram", "a byte count")?.unwrap_or(0);
-                        if cout == 0 {
-                            return Err(head.err("`cout=` must be positive"));
+                        if cout == 0 || cout > MAX_COUT {
+                            return Err(head.err(format!("`cout=` must be in 1..={MAX_COUT}")));
                         }
                         let [streamed, full] = srcs[..] else {
                             return Err(src_toks[0].err(
@@ -485,6 +539,8 @@ pub fn read_network(text: &str) -> Result<Network, SpecError> {
                 };
                 kv.finish()?;
                 symbols.insert(nm.text.to_string(), src);
+                // Every layer's ofmap batch equals its first source's.
+                batch_of.insert(nm.text.to_string(), batch_of[src_toks[0].text]);
             }
         }
     }

@@ -64,7 +64,7 @@ fn ci_smoke_spec_run_reproduces_in_code_scheduler() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/fig2_edge.soma");
     let text = std::fs::read_to_string(path).expect("committed spec exists");
     let spec = soma::spec::read_experiment(&text).expect("committed spec parses");
-    let rows = soma_bench::run_experiment(&spec, |_, _| {});
+    let rows = soma_bench::run_experiment(&spec, |_| {});
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].cell.id, "fig2@edge/b1");
 

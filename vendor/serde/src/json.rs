@@ -1,0 +1,558 @@
+//! A minimal JSON document model for the offline serde stand-in.
+//!
+//! The real workspace dependency would be `serde_json`; with no registry
+//! access this module provides the small subset the workspace needs to
+//! persist run records: an explicit [`Value`] tree, a deterministic
+//! compact writer ([`to_string`]) and a strict parser ([`parse`]).
+//!
+//! Determinism contract (the run-ledger tests compare files
+//! byte-for-byte):
+//!
+//! * Object keys keep **insertion order** — writing never reorders.
+//! * Numbers round-trip exactly: integers print as decimal digits;
+//!   finite floats print through Rust's shortest-round-trip `Display`,
+//!   so `parse(to_string(v))` reproduces the same `f64` bits.
+//! * The writer emits no whitespace, so a value has exactly one
+//!   canonical rendering.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are split by how they parsed (`u64` first,
+/// then `i64`, then `f64`); use the [`as_f64`](Value::as_f64) family of
+/// accessors, which coerce across the numeric variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`.
+    UInt(u64),
+    /// A negative integer that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; key order is preserved (and is the written order).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn obj() -> Self {
+        Value::Obj(Vec::new())
+    }
+
+    /// Appends a key to an object. Panics if `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: Value) {
+        match self {
+            Value::Obj(entries) => entries.push((key.into(), value)),
+            other => panic!("Value::push on a non-object {other:?}"),
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (coercing integer variants).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(v) => Some(v),
+            Value::UInt(v) => Some(v as f64),
+            Value::Int(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Writes a value as compact JSON (no whitespace, insertion-ordered
+/// keys, round-trip-exact numbers).
+pub fn write(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's float Display is the shortest string that parses
+                // back to the identical f64 — the round-trip contract.
+                let _ = write!(out, "{f}");
+            } else {
+                // Non-finite numbers have no JSON literal.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_str(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(k, out);
+                out.push(':');
+                write(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// [`write`] into a fresh string.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write(v, &mut out);
+    out
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Containers deeper than this are rejected: the parser recurses per
+/// nesting level, so without a bound a hostile input (`[[[[...`) would
+/// abort the process with a stack overflow instead of returning an
+/// error. Workspace documents nest a handful of levels.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError { offset: self.pos, msg: msg.into() }
+    }
+
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.descend()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.descend()?;
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // writer; reject rather than mis-decode.
+                            let ch = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(ch);
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte position.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let ch = rest.chars().next().expect("non-empty by construction");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::UInt(v));
+            }
+            // `-0` must stay a float to preserve the sign bit.
+            if text != "-0" {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::Int(v));
+                }
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses one JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first violation.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after value"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-7", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v), text);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for f in [0.1, 1.5e-300, std::f64::consts::PI, 1e20, -2.5, 16.0] {
+            let text = to_string(&Value::Float(f));
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {text}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let text = to_string(&Value::Float(-0.0));
+        let back = parse(&text).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let v = Value::UInt(u64::MAX);
+        assert_eq!(parse(&to_string(&v)).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn objects_preserve_key_order() {
+        let mut obj = Value::obj();
+        obj.push("zebra", 1u64.into());
+        obj.push("apple", 2u64.into());
+        let text = to_string(&obj);
+        assert_eq!(text, "{\"zebra\":1,\"apple\":2}");
+        assert_eq!(parse(&text).unwrap(), obj);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\te\u{1}✓";
+        let text = to_string(&Value::Str(s.into()));
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = "{\"a\":[1,2.5,{\"b\":null}],\"c\":true}";
+        let v = parse(text).unwrap();
+        assert_eq!(to_string(&v), text);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("12 34").is_err());
+        let e = parse("nulp").unwrap_err();
+        assert!(e.to_string().contains("byte 0"), "{e}");
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing_the_stack() {
+        let deep = "[".repeat(200_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        let mixed = "{\"a\":".repeat(5_000);
+        assert!(parse(&mixed).is_err());
+        // The limit leaves ample room for real documents.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn whitespace_is_accepted_on_parse() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(to_string(&v), "{\"a\":[1,2]}");
+    }
+}

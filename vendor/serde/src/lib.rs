@@ -2,9 +2,13 @@
 //!
 //! Provides the two marker traits and (behind the `derive` feature, as in
 //! real serde) re-exports the no-op derive macros from
-//! [`serde_derive`](../serde_derive). The workspace only uses serde to
-//! *annotate* types for future serialisation; no code path serialises yet.
-//! Swap back to crates.io serde by editing `[workspace.dependencies]`.
+//! [`serde_derive`](../serde_derive). Most of the workspace only uses
+//! serde to *annotate* types; the code paths that genuinely persist data
+//! (the experiment run ledger) go through the explicit [`json`] document
+//! model instead of derived impls. Swap back to crates.io serde by
+//! editing `[workspace.dependencies]`.
+
+pub mod json;
 
 /// Marker counterpart of `serde::Serialize`.
 pub trait Serialize {}
