@@ -10,9 +10,10 @@
 //! filters against.
 //!
 //! Environment: `SOMA_FULL=1` sweeps batches {1,4,16,64} (paper grid),
-//! `SOMA_EFFORT` scales search effort, `SOMA_THREADS` caps parallelism.
-
-use std::sync::Mutex;
+//! `SOMA_EFFORT` scales search effort, `SOMA_THREADS` sets the thread
+//! policy (`auto`/`seq`/N). Output rows are emitted in cell order
+//! regardless of the policy, so the CSV is byte-identical across thread
+//! counts.
 
 use soma_bench::{platforms, salt, scenario_key, workloads, RunConfig};
 use soma_core::parse_lfa;
@@ -75,49 +76,48 @@ fn main() {
         }
     }
 
-    let threads = rc.threads;
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out = Mutex::new(());
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let name = cell.net.name().to_string();
-                let cfg = rc.config_for(
-                    &cell.net,
-                    salt(&["fig6", &cell.platform.name, &name, &cell.batch.to_string()]),
-                );
-                let cocco =
-                    Scheduler::cocco(&cell.net, &cell.platform).config(cfg.clone()).run().best;
-                let soma = Scheduler::new(&cell.net, &cell.platform).config(cfg).run();
-                let mut rows = String::new();
-                for (scheme, e) in
-                    [("cocco", &cocco), ("ours_1", &soma.stage1), ("ours_2", &soma.best)]
-                {
-                    rows.push_str(&row(
-                        &cell.scenario,
-                        &cell.platform.name,
-                        &cell.net,
-                        cell.batch,
-                        scheme,
-                        e,
-                    ));
-                    rows.push('\n');
-                }
-                let _guard = out.lock().expect("stdout lock");
-                print!("{rows}");
-                eprintln!(
-                    "[fig6] {}: speedup {:.2}x (stage1 {:.2}x), energy -{:.1}%",
-                    cell.scenario,
-                    cocco.report.latency_cycles as f64 / soma.best.report.latency_cycles as f64,
-                    cocco.report.latency_cycles as f64 / soma.stage1.report.latency_cycles as f64,
-                    100.0
-                        * (1.0
-                            - soma.best.report.energy.total_pj() / cocco.report.energy.total_pj())
-                );
-            });
+    // Fan the cells out under the configured thread policy; collect
+    // (csv, commentary) per cell and print in cell order so the output
+    // is byte-identical whatever `SOMA_THREADS` says.
+    let work: Vec<&Cell> = cells.iter().collect();
+    let rendered: Vec<(String, String)> = rc.threads.map_collect(work, |cell| {
+        let name = cell.net.name().to_string();
+        let cfg = rc.config_for(
+            &cell.net,
+            salt(&["fig6", &cell.platform.name, &name, &cell.batch.to_string()]),
+        );
+        let cocco = Scheduler::cocco(&cell.net, &cell.platform)
+            .config(cfg.clone())
+            .parallelism(rc.threads.nested())
+            .run()
+            .best;
+        let soma = Scheduler::new(&cell.net, &cell.platform)
+            .config(cfg)
+            .parallelism(rc.threads.nested())
+            .run();
+        let mut rows = String::new();
+        for (scheme, e) in [("cocco", &cocco), ("ours_1", &soma.stage1), ("ours_2", &soma.best)] {
+            rows.push_str(&row(
+                &cell.scenario,
+                &cell.platform.name,
+                &cell.net,
+                cell.batch,
+                scheme,
+                e,
+            ));
+            rows.push('\n');
         }
+        let note = format!(
+            "[fig6] {}: speedup {:.2}x (stage1 {:.2}x), energy -{:.1}%",
+            cell.scenario,
+            cocco.report.latency_cycles as f64 / soma.best.report.latency_cycles as f64,
+            cocco.report.latency_cycles as f64 / soma.stage1.report.latency_cycles as f64,
+            100.0 * (1.0 - soma.best.report.energy.total_pj() / cocco.report.energy.total_pj())
+        );
+        (rows, note)
     });
+    for (rows, note) in rendered {
+        print!("{rows}");
+        eprintln!("{note}");
+    }
 }

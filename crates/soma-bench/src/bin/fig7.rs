@@ -13,9 +13,8 @@
 //! but not under Cocco.
 //!
 //! Environment: `SOMA_FULL=1` for the full grid, `SOMA_WORKLOAD` to
-//! restrict to one workload name substring, `SOMA_THREADS`.
-
-use std::sync::Mutex;
+//! restrict to one workload name substring, `SOMA_THREADS` for the
+//! thread policy (`auto`/`seq`/N; cell order on stdout either way).
 
 use soma_arch::HardwareConfig;
 use soma_bench::{salt, scenario_key, RunConfig};
@@ -66,48 +65,46 @@ fn main() {
         }
     }
 
-    let threads = rc.threads;
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out = Mutex::new(());
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let hw = &cell.hw;
-                let name = cell.net.name().to_string();
-                let cfg = rc.config_for(
-                    &cell.net,
-                    salt(&[
-                        "fig7",
-                        &name,
-                        &cell.batch.to_string(),
-                        &cell.mib.to_string(),
-                        &cell.gbps.to_string(),
-                    ]),
-                );
-                let cocco = Scheduler::cocco(&cell.net, hw).config(cfg.clone()).run().best;
-                let soma = Scheduler::new(&cell.net, hw).config(cfg).run();
-                let mut rows = String::new();
-                for (scheduler, cycles) in [
-                    ("cocco", cocco.report.latency_cycles),
-                    ("soma", soma.best.report.latency_cycles),
-                ] {
-                    rows.push_str(&format!(
-                        "{},{scheduler},{name},{},{},{},{},{:.4}\n",
-                        cell.scenario,
-                        cell.batch,
-                        cell.mib,
-                        cell.gbps,
-                        cycles,
-                        hw.cycles_to_seconds(cycles) * 1e3
-                    ));
-                }
-                let _guard = out.lock().expect("stdout lock");
-                print!("{rows}");
-                eprintln!("[fig7] {} done", cell.scenario);
-            });
+    // One (csv, scenario) pair per cell under the configured thread
+    // policy, printed in cell order afterwards — deterministic stdout.
+    let work: Vec<&Cell> = cells.iter().collect();
+    let rendered: Vec<(String, String)> = rc.threads.map_collect(work, |cell| {
+        let hw = &cell.hw;
+        let name = cell.net.name().to_string();
+        let cfg = rc.config_for(
+            &cell.net,
+            salt(&[
+                "fig7",
+                &name,
+                &cell.batch.to_string(),
+                &cell.mib.to_string(),
+                &cell.gbps.to_string(),
+            ]),
+        );
+        let cocco = Scheduler::cocco(&cell.net, hw)
+            .config(cfg.clone())
+            .parallelism(rc.threads.nested())
+            .run()
+            .best;
+        let soma = Scheduler::new(&cell.net, hw).config(cfg).parallelism(rc.threads.nested()).run();
+        let mut rows = String::new();
+        for (scheduler, cycles) in
+            [("cocco", cocco.report.latency_cycles), ("soma", soma.best.report.latency_cycles)]
+        {
+            rows.push_str(&format!(
+                "{},{scheduler},{name},{},{},{},{},{:.4}\n",
+                cell.scenario,
+                cell.batch,
+                cell.mib,
+                cell.gbps,
+                cycles,
+                hw.cycles_to_seconds(cycles) * 1e3
+            ));
         }
+        (rows, cell.scenario.clone())
     });
+    for (rows, scenario) in rendered {
+        print!("{rows}");
+        eprintln!("[fig7] {scenario} done");
+    }
 }

@@ -24,16 +24,24 @@
 //! The spec file owns the entire run configuration, so **every**
 //! `SOMA_*` knob — including `SOMA_WORKLOAD`; a partial run would poison
 //! resume-vs-uninterrupted ledger comparisons — is ignored with a
-//! warning.
+//! warning. The one override is `--threads <auto|seq|N>`, which replaces
+//! the spec's `threads` directive for this invocation: thread policy is
+//! wall-clock only (ledger bytes and CSV are bit-identical across
+//! counts, and the cache key never sees it), so it is the one knob that
+//! cannot poison anything.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use soma_bench::{csv_rows, run_lab, LabEvent, CSV_HEADER};
+use soma_search::Parallelism;
 use soma_spec::read_experiment;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lab <experiment.soma> [--ledger <path>] [--require-hits]");
+    eprintln!(
+        "usage: lab <experiment.soma> [--ledger <path>] [--require-hits] \
+         [--threads <auto|seq|N>]"
+    );
     ExitCode::from(2)
 }
 
@@ -47,11 +55,20 @@ fn main() -> ExitCode {
     let mut spec_path: Option<String> = None;
     let mut ledger_path: Option<PathBuf> = None;
     let mut require_hits = false;
+    let mut threads_flag: Option<Parallelism> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ledger" => match args.next() {
                 Some(p) => ledger_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--threads" => match args.next().map(|v| v.parse()) {
+                Some(Ok(par)) => threads_flag = Some(par),
+                Some(Err(e)) => {
+                    eprintln!("lab: --threads: {e}");
+                    return ExitCode::from(2);
+                }
                 None => return usage(),
             },
             "--require-hits" => require_hits = true,
@@ -70,22 +87,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let spec = match read_experiment(&text) {
+    let mut spec = match read_experiment(&text) {
         Ok(spec) => spec,
         Err(e) => {
             eprintln!("lab: {path}: {e}");
             return ExitCode::from(2);
         }
     };
+    // Thread policy is the one spec field a flag may override: it is
+    // wall-clock only and never part of a cell's cache key.
+    if let Some(par) = threads_flag {
+        spec.parallelism = par;
+    }
     let ledger = ledger_path
         .unwrap_or_else(|| PathBuf::from("target/lab").join(format!("{}.jsonl", spec.name)));
 
     eprintln!(
-        "[lab] {}: {} cell(s), {} seed(s), effort {}, ledger {}",
+        "[lab] {}: {} cell(s), {} seed(s), effort {}, threads {}, ledger {}",
         spec.name,
         spec.cells().len(),
         spec.seeds.len(),
         spec.config.effort,
+        spec.parallelism,
         ledger.display()
     );
     let summary = run_lab(&spec, &ledger, |ev| match ev {

@@ -1,7 +1,9 @@
 //! Search-throughput benchmark: schedule evaluations per second through
 //! the naive rebuild-everything path vs the compiled evaluation engine,
 //! per stage, per network, per seed — plus cold-vs-warm timings of the
-//! ledger-backed `lab` orchestrator.
+//! ledger-backed `lab` orchestrator and thread-count scaling of a
+//! seed-portfolio run (outcomes asserted bit-identical across counts
+//! first; the `scaling` section reports wall-clock only).
 //!
 //! Prints a machine-readable JSON document to stdout (committed at the
 //! repo root as `BENCH_search.json`) and commentary to stderr. Both
@@ -206,6 +208,7 @@ fn lab_cold_warm(rc: &RunConfig, scenario_id: &str) -> String {
             max_allocator_iters: 4,
             ..SearchConfig::default()
         },
+        parallelism: soma_search::Parallelism::Sequential,
     };
     let ledger = std::env::temp_dir().join(format!("{}.ledger.jsonl", spec.name));
     let _ = std::fs::remove_file(&ledger);
@@ -240,6 +243,62 @@ fn lab_cold_warm(rc: &RunConfig, scenario_id: &str) -> String {
          \"cold_s\": {cold_s:.6}, \"warm_s\": {warm_s:.6}, \"warm_hits\": 1, \
          \"replay_speedup\": {speedup:.1}}}",
         rc.seed
+    )
+}
+
+/// Thread-count scaling of a seed-portfolio run: the same 4-seed
+/// portfolio under `seq` and worker pools of 1/2/4/8 threads. Outcomes
+/// are asserted bit-identical across all five runs before any timing is
+/// reported (the `Parallelism` determinism contract), so the section
+/// can only ever show wall-clock differences. `host_cores` records
+/// what the machine can actually run concurrently — speedups are
+/// bounded by it, not by the pool size.
+fn scaling(rc: &RunConfig) -> String {
+    use soma_search::{Parallelism, Scheduler, SearchConfig};
+
+    let net = soma_model::zoo::fig2(1);
+    let hw = HardwareConfig::edge();
+    let seeds: Vec<u64> = (0..4).map(|i| rc.seed + i).collect();
+    let cfg = SearchConfig { effort: 0.05 * rc.effort_scale, seed: rc.seed, ..Default::default() };
+    let run = |par: Parallelism| {
+        let start = Instant::now();
+        let outcome = Scheduler::new(&net, &hw)
+            .config(cfg.clone())
+            .seeds(seeds.iter().copied())
+            .parallelism(par)
+            .run();
+        (outcome, start.elapsed().as_secs_f64())
+    };
+
+    let (baseline, seq_s) = run(Parallelism::Sequential);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries =
+        vec![format!("{{\"threads\": \"seq\", \"elapsed_s\": {seq_s:.6}, \"speedup\": 1.00}}")];
+    eprintln!(
+        "[perfbench] scaling fig2@edge/b1 x4 seeds: seq {seq_s:>8.3} s (host cores: {host_cores})"
+    );
+    for n in [1usize, 2, 4, 8] {
+        let (outcome, s) = run(Parallelism::Fixed(n));
+        assert_eq!(
+            outcome.best.cost.to_bits(),
+            baseline.best.cost.to_bits(),
+            "{n}-thread portfolio diverged from sequential"
+        );
+        assert_eq!(outcome.evals, baseline.evals, "{n}-thread eval count diverged");
+        let speedup = if s > 0.0 { seq_s / s } else { 0.0 };
+        entries.push(format!(
+            "{{\"threads\": \"{n}\", \"elapsed_s\": {s:.6}, \"speedup\": {speedup:.2}}}"
+        ));
+        eprintln!(
+            "[perfbench] scaling fig2@edge/b1 x4 seeds: {n:>3} thr {s:>8.3} s ({speedup:.2}x)"
+        );
+    }
+    format!(
+        "    {{\"scenario\": \"fig2@edge/b1\", \"seeds\": {}, \"host_cores\": {host_cores}, \
+         \"outcomes\": \"bit-identical across all thread counts (asserted)\", \
+         \"runs\": [{}]}}",
+        seeds.len(),
+        entries.join(", ")
     )
 }
 
@@ -316,6 +375,9 @@ fn main() {
     println!("  ],");
     println!("  \"lab\": [");
     println!("{}", lab_rows.join(",\n"));
+    println!("  ],");
+    println!("  \"scaling\": [");
+    println!("{}", scaling(&rc));
     println!("  ]");
     println!("}}");
 }

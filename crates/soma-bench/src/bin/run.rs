@@ -4,6 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release -p soma-bench --bin run -- specs/fig2_edge.soma
+//! cargo run --release -p soma-bench --bin run -- specs/fig2_edge.soma --threads 4
 //! ```
 //!
 //! CSV columns (stdout; commentary on stderr):
@@ -18,8 +19,14 @@
 //! shared `SOMA_*` knob surface only the `SOMA_WORKLOAD` scenario-id
 //! filter applies on top; knobs the spec supersedes (`SOMA_EFFORT`,
 //! `SOMA_SEED`, `SOMA_FULL`, `SOMA_THREADS`) are ignored with a warning.
+//!
+//! `--threads <auto|seq|N>` overrides the spec's `threads` directive for
+//! this invocation only. Thread policy never changes the CSV — cells
+//! are merged in cell order and every seed owns its RNG stream — so the
+//! override is safe to use freely.
 
 use soma_bench::{csv_rows, run_cells, LabEvent, RunConfig, CSV_HEADER};
+use soma_search::Parallelism;
 use soma_spec::read_experiment;
 
 fn main() {
@@ -32,10 +39,28 @@ fn main() {
             eprintln!("run: ignoring {knob} — the spec file owns the search configuration");
         }
     }
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: run <experiment.soma>");
+    let usage = || -> ! {
+        eprintln!("usage: run <experiment.soma> [--threads <auto|seq|N>]");
         std::process::exit(2);
-    });
+    };
+    let mut spec_path: Option<String> = None;
+    let mut threads_flag: Option<Parallelism> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => match args.next().map(|v| v.parse()) {
+                Some(Ok(par)) => threads_flag = Some(par),
+                Some(Err(e)) => {
+                    eprintln!("run: --threads: {e}");
+                    std::process::exit(2);
+                }
+                None => usage(),
+            },
+            _ if spec_path.is_none() && !arg.starts_with('-') => spec_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = spec_path else { usage() };
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("run: cannot read {path}: {e}");
         std::process::exit(2);
@@ -58,15 +83,16 @@ fn main() {
         std::process::exit(2);
     }
 
+    let parallelism = threads_flag.unwrap_or(spec.parallelism);
     eprintln!(
-        "[run] {}: {} cell(s), {} seed(s), effort {}",
+        "[run] {}: {} cell(s), {} seed(s), effort {}, threads {parallelism}",
         spec.name,
         cells.len(),
         spec.seeds.len(),
         spec.config.effort
     );
     println!("{CSV_HEADER}");
-    let rows = run_cells(cells, &spec.config, &spec.seeds, |ev| {
+    let rows = run_cells(cells, &spec.config, &spec.seeds, parallelism, |ev| {
         if let LabEvent::Finished { cell, cost, latency_cycles, evals, .. } = ev {
             eprintln!("[run] {cell}: best cost {cost:.3e}, latency {latency_cycles} cycles, {evals} evals");
         }

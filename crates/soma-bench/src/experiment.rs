@@ -1,20 +1,25 @@
 //! Executes a parsed [`ExperimentSpec`]: one [`Scheduler`] portfolio run
-//! per cell, in cell order, deterministically — the engine behind
-//! `soma-bench --bin run` and the `ci_smoke` spec-reproduction gate.
+//! per cell, deterministically — the engine behind `soma-bench --bin
+//! run` and the `ci_smoke` spec-reproduction gate.
 //!
 //! A cell's result is **exactly** what the equivalent hand-written
 //! driver produces: `Scheduler::new(&cell.net, &cell.hw)
 //! .config(spec.config.clone()).seeds(spec.seeds.clone()).run()` — no
 //! hidden seed salting, no effort rescaling. A committed `.soma` file
-//! plus this function *is* the run configuration.
+//! plus this function *is* the run configuration: the [`Parallelism`]
+//! policy spreads cells across threads but never changes a result (rows
+//! are merged in cell order and each seed owns its RNG stream).
 //!
 //! Progress flows through the same typed [`LabEvent`] stream the
-//! parallel, ledger-backed orchestrator ([`crate::lab`]) emits — here
-//! every cell is `Queued` then `Started`/`Finished` (never `Cached`;
-//! the sequential driver consults no ledger), which is also what makes
-//! the two paths directly comparable in the differential tests.
+//! ledger-backed orchestrator ([`crate::lab`]) emits — here every cell
+//! is `Queued` then `Started`/`Finished` (never `Cached`; this driver
+//! consults no ledger), `Finished` always in cell order, which is also
+//! what makes the two paths directly comparable in the differential
+//! tests.
 
-use soma_search::{Scheduler, SearchConfig, SearchOutcome};
+use std::sync::Mutex;
+
+use soma_search::{Parallelism, Scheduler, SearchConfig, SearchOutcome};
 use soma_spec::{ExperimentCell, ExperimentSpec};
 
 use crate::lab::{cell_key, LabEvent};
@@ -70,46 +75,95 @@ pub fn csv_rows(rows: &[ExperimentRow]) -> String {
     out
 }
 
-/// Runs every cell of the experiment in order, emitting [`LabEvent`]s.
-/// Deterministic: same spec text, same results, same event stream.
+/// Runs every cell of the experiment under the spec's [`Parallelism`]
+/// policy, emitting [`LabEvent`]s. Deterministic: same spec text, same
+/// results — bit-identical across thread counts; only the live
+/// `Started` interleaving (and wall-clock) varies.
 pub fn run_experiment(
     spec: &ExperimentSpec,
-    observer: impl FnMut(&LabEvent),
+    observer: impl FnMut(&LabEvent) + Send,
 ) -> Vec<ExperimentRow> {
-    run_cells(spec.cells(), &spec.config, &spec.seeds, observer)
+    run_cells(spec.cells(), &spec.config, &spec.seeds, spec.parallelism, observer)
+}
+
+/// In-order `Finished` emitter for the parallel path: completed cells
+/// park until every earlier cell has been reported, mirroring the
+/// ledger flusher in [`crate::lab`] (minus the ledger).
+struct InOrderEvents<'o> {
+    observer: &'o mut (dyn FnMut(&LabEvent) + Send),
+    next: usize,
+    ready: std::collections::BTreeMap<usize, LabEvent>,
+}
+
+impl InOrderEvents<'_> {
+    fn complete(&mut self, idx: usize, done: LabEvent) {
+        self.ready.insert(idx, done);
+        while let Some(done) = self.ready.remove(&self.next) {
+            self.next += 1;
+            (self.observer)(&done);
+        }
+    }
 }
 
 /// Runs an explicit cell list (e.g. an experiment narrowed by the
-/// `SOMA_WORKLOAD` filter) under one configuration and seed portfolio.
+/// `SOMA_WORKLOAD` filter) under one configuration, seed portfolio and
+/// thread policy. Results (and `Finished` events) always arrive in cell
+/// order; under [`Parallelism::Sequential`] every event is emitted live
+/// from the calling thread.
 pub fn run_cells(
     cells: Vec<ExperimentCell>,
     config: &SearchConfig,
     seeds: &[u64],
-    mut observer: impl FnMut(&LabEvent),
+    parallelism: Parallelism,
+    mut observer: impl FnMut(&LabEvent) + Send,
 ) -> Vec<ExperimentRow> {
     let keys: Vec<String> = cells.iter().map(|c| cell_key(c, config, seeds)).collect();
     for (cell, key) in cells.iter().zip(&keys) {
         observer(&LabEvent::Queued { cell: cell.id.clone(), hash: key.clone() });
     }
-    cells
-        .into_iter()
-        .zip(keys)
-        .map(|(cell, key)| {
-            observer(&LabEvent::Started { cell: cell.id.clone() });
-            let outcome = Scheduler::new(&cell.net, &cell.hw)
-                .config(config.clone())
-                .seeds(seeds.iter().copied())
-                .run();
-            observer(&LabEvent::Finished {
-                cell: cell.id.clone(),
-                hash: key,
-                cost: outcome.best.cost,
-                latency_cycles: outcome.best.report.latency_cycles,
-                evals: outcome.evals,
-            });
-            ExperimentRow { cell, outcome }
-        })
-        .collect()
+    let run_one = |cell: &ExperimentCell, par: Parallelism| {
+        Scheduler::new(&cell.net, &cell.hw)
+            .config(config.clone())
+            .seeds(seeds.iter().copied())
+            .parallelism(par)
+            .run()
+    };
+    let finished_event =
+        |cell: &ExperimentCell, key: String, outcome: &SearchOutcome| LabEvent::Finished {
+            cell: cell.id.clone(),
+            hash: key,
+            cost: outcome.best.cost,
+            latency_cycles: outcome.best.report.latency_cycles,
+            evals: outcome.evals,
+        };
+
+    if parallelism == Parallelism::Sequential {
+        return cells
+            .into_iter()
+            .zip(keys)
+            .map(|(cell, key)| {
+                observer(&LabEvent::Started { cell: cell.id.clone() });
+                let outcome = run_one(&cell, Parallelism::Sequential);
+                observer(&finished_event(&cell, key, &outcome));
+                ExperimentRow { cell, outcome }
+            })
+            .collect();
+    }
+
+    let events =
+        Mutex::new(InOrderEvents { observer: &mut observer, next: 0, ready: Default::default() });
+    let work: Vec<(usize, &ExperimentCell)> = cells.iter().enumerate().collect();
+    let outcomes: Vec<SearchOutcome> = parallelism.map_collect(work, |(idx, cell)| {
+        {
+            let mut state = events.lock().expect("event emitter poisoned");
+            (state.observer)(&LabEvent::Started { cell: cell.id.clone() });
+        }
+        let outcome = run_one(cell, parallelism.nested());
+        let done = finished_event(cell, keys[idx].clone(), &outcome);
+        events.lock().expect("event emitter poisoned").complete(idx, done);
+        outcome
+    });
+    cells.into_iter().zip(outcomes).map(|(cell, outcome)| ExperimentRow { cell, outcome }).collect()
 }
 
 #[cfg(test)]

@@ -17,12 +17,13 @@
 //!   The final ledger of an interrupted-then-resumed run is
 //!   byte-identical to an uninterrupted one.
 //! * **Parallel with deterministic merge** — cell searches that miss the
-//!   ledger fan out through the `rayon` pool (sequential under the
-//!   offline vendored stub; restoring real rayon parallelises them with
-//!   no code change). Results are merged, the ledger written and
+//!   ledger fan out across the threads selected by the spec's
+//!   [`Parallelism`] policy (the `threads` directive / `--threads`
+//!   flag). Results are merged, the ledger written and
 //!   [`LabEvent::Cached`]/[`LabEvent::Finished`] observed in cell order
-//!   regardless of completion order, so parallel output is bit-identical
-//!   to the sequential [`run_experiment`](crate::run_experiment).
+//!   regardless of completion order, so ledger bytes and rows are
+//!   bit-identical across thread counts — and to the sequential
+//!   [`run_experiment`](crate::run_experiment).
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs;
@@ -30,7 +31,6 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use rayon::prelude::*;
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use soma_search::record::{outcome_from_json, outcome_to_json, ENGINE_VERSION};
@@ -46,10 +46,10 @@ pub const LEDGER_VERSION: u64 = 1;
 /// per-search [`SearchEvent`](soma_search::SearchEvent) one level up:
 /// events carry plain strings and numbers, serialise cheaply, and arrive
 /// **live**: `Queued` then `Cached` in cell order up front, `Started` as
-/// each search begins (execution order — nondeterministic under a real
-/// parallel pool, deterministic under the sequential stub), and
-/// `Finished` in cell order, each emitted the moment the cell's row
-/// lands in the ledger.
+/// each search begins (execution order — nondeterministic under a
+/// parallel [`Parallelism`] policy, cell order under
+/// [`Parallelism::Sequential`]), and `Finished` in cell order, each
+/// emitted the moment the cell's row lands in the ledger.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LabEvent {
     /// A cell entered the work queue.
@@ -288,13 +288,11 @@ pub struct LabSummary {
 /// the pool finishes in. The observer lives here too: `Started` events
 /// are forwarded live as jobs begin, and each cell's `Finished` event is
 /// emitted the moment its row lands in the ledger — live progress, in
-/// flush (cell) order. (Under real rayon this would require the
-/// observer to be `Send`; the offline stub runs everything on one
-/// thread, exactly like the portfolio observer in
-/// `soma_search::session`.)
+/// flush (cell) order. Worker threads report through the shared mutex
+/// around this state, which is why the observer must be `Send`.
 struct InOrderFlush<'l, 'o> {
     ledger: &'l mut Ledger,
-    observer: &'o mut dyn FnMut(&LabEvent),
+    observer: &'o mut (dyn FnMut(&LabEvent) + Send),
     /// Position into the miss list of the next row to write.
     next: usize,
     ready: BTreeMap<usize, (LedgerRow, LabEvent)>,
@@ -323,10 +321,12 @@ impl InOrderFlush<'_, '_> {
 /// Executes an experiment against the ledger at `ledger_path`.
 ///
 /// Ledger-hit cells are served without search work; misses fan out
-/// through the `rayon` pool and append to the ledger in cell order. The
-/// observer sees [`LabEvent`]s in the deterministic order documented on
-/// the type. The returned rows are bit-identical to a sequential
-/// [`run_experiment`](crate::run_experiment) of the same spec.
+/// across the threads chosen by `spec.parallelism` and append to the
+/// ledger in cell order. The observer sees [`LabEvent`]s in the order
+/// documented on the type. The returned rows and ledger bytes are
+/// bit-identical across every [`Parallelism`] policy — and to a
+/// sequential [`run_experiment`](crate::run_experiment) of the same
+/// spec.
 ///
 /// # Errors
 ///
@@ -335,7 +335,7 @@ impl InOrderFlush<'_, '_> {
 pub fn run_lab(
     spec: &ExperimentSpec,
     ledger_path: &Path,
-    mut observer: impl FnMut(&LabEvent),
+    mut observer: impl FnMut(&LabEvent) + Send,
 ) -> io::Result<LabSummary> {
     let cells = spec.cells();
     let keys: Vec<String> = cells.iter().map(|c| cell_key(c, &spec.config, &spec.seeds)).collect();
@@ -381,12 +381,9 @@ pub fn run_lab(
         ready: BTreeMap::new(),
         err: None,
     });
-    let finished: Vec<(usize, SearchOutcome)> = misses
-        .iter()
-        .enumerate()
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(miss_pos, &cell_idx)| {
+    let work: Vec<(usize, usize)> = misses.iter().copied().enumerate().collect();
+    let finished: Vec<(usize, SearchOutcome)> =
+        spec.parallelism.map_collect(work, |(miss_pos, cell_idx)| {
             let cell = &cells[cell_idx];
             let key = &keys[cell_idx];
             {
@@ -396,6 +393,7 @@ pub fn run_lab(
             let outcome = Scheduler::new(&cell.net, &cell.hw)
                 .config(spec.config.clone())
                 .seeds(spec.seeds.iter().copied())
+                .parallelism(spec.parallelism.nested())
                 .run();
             let done = LabEvent::Finished {
                 cell: cell.id.clone(),
@@ -407,8 +405,7 @@ pub fn run_lab(
             let row = LedgerRow::new(cell, key, outcome.clone());
             flush.lock().expect("ledger flusher poisoned").complete(miss_pos, row, done);
             (cell_idx, outcome)
-        })
-        .collect();
+        });
 
     let state = flush.into_inner().expect("ledger flusher poisoned");
     if let Some(e) = state.err {

@@ -12,8 +12,10 @@
 //!   the quick default {1,4}.
 //! * `SOMA_SEED` — base RNG seed (default 2025; SoMa and Cocco share the
 //!   per-configuration seed, as in the paper's artifact).
-//! * `SOMA_THREADS` — worker thread count (default: available
-//!   parallelism).
+//! * `SOMA_THREADS` — thread policy: `auto` (current/global pool, the
+//!   default), `seq` (inline, no workers), or a fixed worker count
+//!   `N >= 2` (a dedicated scoped pool per parallel region). Never
+//!   affects results or ledger bytes — wall-clock only.
 //! * `SOMA_WORKLOAD` — case-insensitive substring filter over scenario
 //!   ids (`<workload>@<platform>/b<batch>`), so `resnet` filters
 //!   workloads, `@edge` platforms and `/b4` batch sizes; binaries that
@@ -36,7 +38,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use soma_arch::HardwareConfig;
 use soma_model::Network;
-use soma_search::SearchConfig;
+use soma_search::{Parallelism, SearchConfig};
 use soma_spec::registry::{suite, Scenario};
 use soma_spec::Preset;
 
@@ -87,8 +89,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Sweep the full batch grid {1,4,16,64} (`SOMA_FULL=1`).
     pub full: bool,
-    /// Worker thread count (`SOMA_THREADS`).
-    pub threads: usize,
+    /// Thread policy (`SOMA_THREADS`): `auto`, `seq`, or a fixed worker
+    /// count. Wall-clock only — never an input to results, ledger bytes
+    /// or cache keys.
+    pub threads: Parallelism,
     /// Scenario-id substring filter (`SOMA_WORKLOAD`, empty = all;
     /// case-insensitive, matched against `<workload>@<platform>/b<batch>`
     /// registry ids and against bare workload names).
@@ -101,7 +105,7 @@ impl Default for RunConfig {
             effort_scale: 1.0,
             seed: 2025,
             full: false,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: Parallelism::Auto,
             workload: String::new(),
         }
     }
@@ -121,8 +125,10 @@ impl RunConfig {
         if let Some(v) = parse_var::<u64>("SOMA_FULL", "0 or 1")? {
             rc.full = v != 0;
         }
-        if let Some(v) = parse_var::<usize>("SOMA_THREADS", "a thread count >= 1")? {
-            rc.threads = v.max(1);
+        if let Some(v) =
+            parse_var::<Parallelism>("SOMA_THREADS", "`auto`, `seq`, or a thread count >= 1")?
+        {
+            rc.threads = v;
         }
         if let Some(v) = parse_var::<String>("SOMA_WORKLOAD", "a scenario-id substring")? {
             rc.workload = v;

@@ -99,6 +99,17 @@ fn check_spec(spec_file: &str, csv_golden: &str, ledger_golden: &str) {
     assert!(ok, "lab (warm) was not 100% hits on {spec_file}:\n{warm_err}");
     assert_eq!(warm_csv, run_csv, "{spec_file}: warm lab CSV != cold CSV");
     assert_golden(&fs::read(&ledger).expect("ledger intact"), ledger_golden);
+
+    // A cold 4-thread pass must hit the *same* goldens: thread policy is
+    // wall-clock only, down to the ledger bytes.
+    let t4 = tmp(&format!("golden-{spec_file}.t4.ledger.jsonl"));
+    let _ = fs::remove_file(&t4);
+    let t4_arg = t4.to_str().expect("utf-8 path");
+    let (t4_csv, _, ok) =
+        run_bin(env!("CARGO_BIN_EXE_lab"), &[spec, "--ledger", t4_arg, "--threads", "4"]);
+    assert!(ok, "lab (cold, --threads 4) failed on {spec_file}");
+    assert_eq!(t4_csv, run_csv, "{spec_file}: 4-thread lab CSV != run CSV");
+    assert_golden(&fs::read(&t4).expect("t4 ledger written"), ledger_golden);
 }
 
 #[test]

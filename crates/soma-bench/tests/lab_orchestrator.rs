@@ -17,7 +17,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use soma_bench::{run_experiment, run_lab, ExperimentRow, LabEvent, Ledger};
-use soma_search::{Evaluated, SearchConfig};
+use soma_search::{Evaluated, Parallelism, SearchConfig};
 use soma_spec::registry::scenarios;
 use soma_spec::{read_experiment, ExperimentSpec};
 
@@ -69,6 +69,7 @@ fn differential_spec() -> ExperimentSpec {
         batches: vec![],
         seeds: vec![2025],
         config: SearchConfig { effort: 0.005, seed: 2025, ..SearchConfig::default() },
+        parallelism: Parallelism::Sequential,
     }
 }
 
@@ -99,6 +100,33 @@ fn lab_matches_sequential_run_experiment_bit_for_bit() {
     let warm = run_lab(&spec, &ledger_path, |_| {}).expect("warm lab run");
     assert_eq!((warm.hits, warm.misses), (spec.cells().len(), 0));
     assert_rows_eq(&sequential, &warm.rows);
+}
+
+#[test]
+fn multithreaded_lab_ledger_is_byte_identical_to_sequential() {
+    // The determinism contract of the `Parallelism` API, end to end:
+    // an N-thread lab run must produce the *same ledger bytes* as the
+    // single-thread golden — not just equal outcomes. Cells finish out
+    // of order under Fixed(4); the in-order flusher must still append
+    // rows in cell order, and every outcome must be bit-identical.
+    let golden_spec = differential_spec();
+    let golden_path = fresh("threads-golden.ledger.jsonl");
+    let golden = run_lab(&golden_spec, &golden_path, |_| {}).expect("sequential golden run");
+    let golden_bytes = fs::read(&golden_path).expect("golden ledger");
+
+    for par in [Parallelism::Fixed(2), Parallelism::Fixed(4)] {
+        let mut spec = differential_spec();
+        spec.parallelism = par;
+        let path = fresh(&format!("threads-{par}.ledger.jsonl"));
+        let got = run_lab(&spec, &path, |_| {}).expect("parallel lab run");
+        assert_eq!((got.hits, got.misses), (0, spec.cells().len()), "{par}: all cold");
+        assert_rows_eq(&golden.rows, &got.rows);
+        assert_eq!(
+            fs::read(&path).expect("parallel ledger"),
+            golden_bytes,
+            "{par}: ledger bytes diverged from the sequential golden"
+        );
+    }
 }
 
 /// The committed two-scenario campaign spec, as the resume tests use it.

@@ -48,6 +48,9 @@
 //!   durations with size-proportional tensor selection, run in place on
 //!   the compiled engine (apply/undo mutation tokens, incrementally
 //!   maintained buffer profile, zero-allocation evaluation).
+//! * [`parallelism`] — the [`Parallelism`] thread-count policy
+//!   (`Auto | Fixed(n) | Sequential`) threaded through every parallel
+//!   region in the workspace; results are bit-identical across variants.
 //! * [`allocator`] — the outcome type and the blocking [`schedule`] shim.
 //! * [`record`] — lossless, deterministic [`SearchOutcome`] ⇄ JSON
 //!   conversion for the experiment run ledger, plus [`ENGINE_VERSION`].
@@ -60,6 +63,7 @@ pub mod cocco;
 pub mod dlsa_stage;
 pub mod lfa_stage;
 pub mod objective;
+pub mod parallelism;
 pub mod record;
 pub mod sa;
 pub mod session;
@@ -71,6 +75,7 @@ pub use cocco::{cocco_tiling, schedule_cocco, CoccoStage};
 pub use dlsa_stage::{DlsaEditor, DlsaMove, DlsaStage, SizeWeightedPicker};
 pub use lfa_stage::LfaStage;
 pub use objective::{CostWeights, Evaluated, Objective};
+pub use parallelism::Parallelism;
 pub use record::{outcome_from_str, outcome_to_string, RecordError, ENGINE_VERSION};
 pub use sa::{anneal, anneal_inplace, AnnealState, SaResult, SaSchedule};
 pub use session::{Scheduler, SearchEvent, SearchSession, StepOutcome};

@@ -11,15 +11,14 @@
 //! policy, it just hands control back between rounds.
 //!
 //! Multi-seed portfolio mode ([`Scheduler::seeds`]) races N independent
-//! sessions via `rayon` and returns the envelope best (ties go to the
-//! earliest seed in the list, so a portfolio run is deterministic for a
-//! fixed seed list). Note that this workspace vendors a *sequential*
-//! rayon stub (no registry access), so until real rayon is restored the
-//! portfolio costs N sequential runs of wall-clock.
+//! sessions across threads and returns the envelope best (ties go to
+//! the earliest seed in the list). How the race spreads over cores is
+//! set by [`Scheduler::parallelism`] — and because each seed owns its
+//! RNG stream and results merge in seed-list order, the outcome is
+//! bit-identical across every [`Parallelism`] variant and thread count.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use soma_arch::HardwareConfig;
 use soma_model::Network;
@@ -27,7 +26,7 @@ use soma_model::Network;
 use crate::allocator::SearchOutcome;
 use crate::objective::{Evaluated, Objective};
 use crate::stage::{RoundCtx, SearchStage, StageSpec};
-use crate::SearchConfig;
+use crate::{Parallelism, SearchConfig};
 
 /// A typed progress event emitted by a [`SearchSession`]. Events carry
 /// plain numbers (no schemes), so logging them is cheap and they
@@ -116,6 +115,7 @@ pub struct Scheduler<'a, 'o> {
     stages: Vec<StageSpec>,
     allocator_loop: bool,
     seeds: Vec<u64>,
+    par: Parallelism,
     observer: Option<Observer<'o>>,
 }
 
@@ -130,6 +130,7 @@ impl<'a, 'o> Scheduler<'a, 'o> {
             stages: StageSpec::SOMA.to_vec(),
             allocator_loop: true,
             seeds: Vec::new(),
+            par: Parallelism::Auto,
             observer: None,
         }
     }
@@ -171,6 +172,14 @@ impl<'a, 'o> Scheduler<'a, 'o> {
         self
     }
 
+    /// Sets how portfolio mode spreads seeds across threads (default
+    /// [`Parallelism::Auto`]). The outcome — and every observed event —
+    /// is bit-identical across all variants; only wall-clock differs.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
     /// Builds the stepping session for a single seed (the first of
     /// [`seeds`](Self::seeds) if given, else `cfg.seed`). Portfolio mode
     /// is only reachable through [`run`](Self::run) — a session is one
@@ -191,11 +200,12 @@ impl<'a, 'o> Scheduler<'a, 'o> {
     }
 
     /// Drives the search to completion. With two or more
-    /// [`seeds`](Self::seeds), races one session per seed via `rayon`
-    /// (under the offline vendored rayon stub the seeds run
-    /// sequentially; restoring real rayon parallelises them with no code
-    /// change) and returns the envelope best; ties keep the earliest
-    /// seed, so the result is deterministic for a fixed list.
+    /// [`seeds`](Self::seeds), races one session per seed across the
+    /// threads chosen by [`parallelism`](Self::parallelism) and returns
+    /// the envelope best; ties keep the earliest seed. Each seed owns
+    /// its RNG stream and results merge in seed-list order, so the
+    /// outcome is deterministic for a fixed list — bit-identical across
+    /// every [`Parallelism`] variant and thread count.
     ///
     /// In portfolio mode each seed's session buffers its events and the
     /// observer sees them replayed in seed-list order once the portfolio
@@ -211,9 +221,8 @@ impl<'a, 'o> Scheduler<'a, 'o> {
         let (stages, allocator_loop) = (self.stages, self.allocator_loop);
         let record_events = observer.is_some();
 
-        let outcomes: Vec<(u64, SearchOutcome, Vec<SearchEvent>)> = seeds
-            .into_par_iter()
-            .map(|seed| {
+        let outcomes: Vec<(u64, SearchOutcome, Vec<SearchEvent>)> =
+            self.par.map_collect(seeds, |seed| {
                 let cfg = SearchConfig { seed, ..cfg.clone() };
                 let mut events: Vec<SearchEvent> = Vec::new();
                 let recorder: Option<Observer<'_>> = record_events
@@ -222,8 +231,7 @@ impl<'a, 'o> Scheduler<'a, 'o> {
                     SearchSession::with_specs(net, hw, cfg, &stages, allocator_loop, recorder);
                 let out = session.run();
                 (seed, out, events)
-            })
-            .collect();
+            });
 
         if let Some(f) = observer.as_mut() {
             for (seed, out, events) in &outcomes {

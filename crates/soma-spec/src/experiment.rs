@@ -26,12 +26,16 @@
 //! `seeds` lists the seed portfolio (default: the `SearchConfig` default
 //! seed); the first seed also becomes `config.seed`, so a single-seed
 //! experiment equals a plain `Scheduler::new(..).config(cfg).run()`.
+//! `threads <auto|seq|N>` sets the [`Parallelism`] policy of the run
+//! (default `auto`); it changes wall-clock only — results and ledger
+//! bytes are bit-identical across policies, and the thread count is
+//! deliberately **not** an input to [`cell_hash`](crate::cell_hash).
 
 use std::fmt::Write as _;
 
 use soma_arch::HardwareConfig;
 use soma_model::{zoo, Network};
-use soma_search::SearchConfig;
+use soma_search::{Parallelism, SearchConfig};
 
 use crate::error::{body_lines, SpecError};
 use crate::hardware::{HardwareSpec, HwField, Preset};
@@ -57,6 +61,10 @@ pub struct ExperimentSpec {
     pub seeds: Vec<u64>,
     /// Search configuration after overrides.
     pub config: SearchConfig,
+    /// Thread policy of the run (`threads` directive, default `auto`).
+    /// Affects wall-clock only; never an input to
+    /// [`cell_hash`](crate::cell_hash).
+    pub parallelism: Parallelism,
 }
 
 /// One resolved (workload, platform, batch) point of an experiment.
@@ -162,6 +170,7 @@ pub fn write_experiment(spec: &ExperimentSpec) -> String {
     let _ = writeln!(out, "stage2_cap {}", c.stage2_cap);
     let _ = writeln!(out, "link_cuts {}", u8::from(c.link_cuts));
     let _ = writeln!(out, "time_budget {}", c.stage_time_budget_secs);
+    let _ = writeln!(out, "threads {}", spec.parallelism);
     out.push_str("end\n");
     out
 }
@@ -184,6 +193,7 @@ pub fn read_experiment(text: &str) -> Result<ExperimentSpec, SpecError> {
     let mut batches: Vec<u32> = Vec::new();
     let mut seeds: Vec<u64> = Vec::new();
     let mut config = SearchConfig::default();
+    let mut parallelism = Parallelism::Auto;
     let mut seen_cfg: Vec<&'static str> = Vec::new();
     let mut first_workload: Option<(usize, usize)> = None;
     let mut last_line = 1usize;
@@ -284,6 +294,13 @@ pub fn read_experiment(text: &str) -> Result<ExperimentSpec, SpecError> {
                 for s in rest {
                     seeds.push(s.parse("an unsigned integer seed")?);
                 }
+            }
+            "threads" => {
+                let [_, value] = toks[..] else {
+                    return Err(head.err("expected `threads <auto|seq|N>`"));
+                };
+                seen("threads", head.line, head.col)?;
+                parallelism = value.parse("`auto`, `seq`, or a thread count >= 1")?;
             }
             "weights" => {
                 let [_, energy, delay] = toks[..] else {
@@ -391,7 +408,7 @@ pub fn read_experiment(text: &str) -> Result<ExperimentSpec, SpecError> {
         seeds.push(config.seed);
     }
     config.seed = seeds[0];
-    Ok(ExperimentSpec { name, scenarios, workloads, hardware, batches, seeds, config })
+    Ok(ExperimentSpec { name, scenarios, workloads, hardware, batches, seeds, config, parallelism })
 }
 
 #[cfg(test)]
@@ -463,6 +480,36 @@ mod tests {
         assert!(e.to_string().contains("need a `hardware` line"), "{e}");
         let e = read_experiment("soma-experiment v1\nname x\nend\n").unwrap_err();
         assert!(e.to_string().contains("selects no scenarios"), "{e}");
+    }
+
+    #[test]
+    fn threads_directive_sets_parallelism() {
+        let base = "soma-experiment v1\nname x\nscenario fig2@edge/b1\n";
+        let spec = read_experiment(&format!("{base}threads 4\nend\n")).unwrap();
+        assert_eq!(spec.parallelism, Parallelism::Fixed(4));
+        let spec = read_experiment(&format!("{base}threads seq\nend\n")).unwrap();
+        assert_eq!(spec.parallelism, Parallelism::Sequential);
+        let spec = read_experiment(&format!("{base}threads auto\nend\n")).unwrap();
+        assert_eq!(spec.parallelism, Parallelism::Auto);
+        // Default when the directive is absent.
+        let spec = read_experiment(&format!("{base}end\n")).unwrap();
+        assert_eq!(spec.parallelism, Parallelism::Auto);
+        // Round-trips through the canonical writer.
+        let spec = read_experiment(&format!("{base}threads 8\nend\n")).unwrap();
+        assert_eq!(read_experiment(&write_experiment(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn threads_directive_rejects_bad_values() {
+        let base = "soma-experiment v1\nname x\nscenario fig2@edge/b1\n";
+        let e = read_experiment(&format!("{base}threads 0\nend\n")).unwrap_err();
+        assert!(e.to_string().contains("thread count"), "{e}");
+        let e = read_experiment(&format!("{base}threads fast\nend\n")).unwrap_err();
+        assert_eq!((e.line, e.col), (4, 9));
+        let e = read_experiment(&format!("{base}threads 2\nthreads 4\nend\n")).unwrap_err();
+        assert!(e.to_string().contains("duplicate `threads`"), "{e}");
+        let e = read_experiment(&format!("{base}threads\nend\n")).unwrap_err();
+        assert!(e.to_string().contains("expected `threads"), "{e}");
     }
 
     #[test]

@@ -167,6 +167,32 @@ mod tests {
     }
 
     #[test]
+    fn thread_policy_never_perturbs_the_hash() {
+        // `Parallelism` changes wall-clock only — outcomes are
+        // bit-identical across thread counts — so it is deliberately not
+        // an input to `cell_hash`: a ledger warmed on a laptop stays
+        // valid on a 64-core box. Specs differing only in their
+        // `threads` directive must produce identical cache keys.
+        use soma_search::Parallelism;
+        let parse = |threads: &str| {
+            crate::read_experiment(&format!(
+                "soma-experiment v1\nname x\nscenario fig2@edge/b1\nseeds 7 8\n{threads}end\n"
+            ))
+            .unwrap()
+        };
+        let base = parse("");
+        assert_eq!(base.parallelism, Parallelism::Auto);
+        let key = |spec: &crate::ExperimentSpec| {
+            let cell = &spec.cells()[0];
+            cell_hash(&cell.id, &cell.hw, &spec.config, &spec.seeds, "e1")
+        };
+        for threads in ["threads seq\n", "threads 4\n", "threads 8\n", "threads auto\n"] {
+            let spec = parse(threads);
+            assert_eq!(key(&spec), key(&base), "`{}` changed the cache key", threads.trim());
+        }
+    }
+
+    #[test]
     fn fingerprints_cover_equality() {
         let (hw, cfg) = base();
         assert_eq!(hardware_fingerprint(&hw), hardware_fingerprint(&HardwareConfig::edge()));

@@ -1,0 +1,130 @@
+//! Parallel iterators over the work-stealing pool.
+//!
+//! The surface is the subset of `rayon::prelude` this workspace uses —
+//! [`IntoParallelIterator`] / [`IntoParallelRefIterator`] producing a
+//! [`ParIter`], whose only adapters are [`map`](ParIter::map) and
+//! [`collect`](ParIter::collect). Execution is a divide-and-conquer
+//! [`join`](crate::join) over index ranges: each item's result is
+//! written into that item's slot, so the collected order is the input
+//! order **by construction**, independent of which worker ran what.
+
+use crate::pool;
+
+/// A pending parallel iteration over owned items, in input order.
+#[must_use = "parallel iterators are lazy; call map()/collect()"]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iteration, created by [`ParIter::map`].
+#[must_use = "parallel iterators are lazy; call collect()"]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    func: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `func` to every item in parallel. The closure must be
+    /// `Sync` (it is shared by reference across workers) and is free to
+    /// run items in any order — [`collect`](ParMap::collect) reassembles
+    /// results in input order.
+    pub fn map<R, F>(self, func: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Send + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, func }
+    }
+
+    /// Collects the (unmapped) items, preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T, F, R> ParMap<T, F>
+where
+    T: Send,
+    F: Fn(T) -> R + Send + Sync,
+    R: Send,
+{
+    /// Runs the map on the current pool (or the global pool when called
+    /// from outside any pool) and collects results in input order.
+    /// A panic in the closure finishes in-flight siblings, then
+    /// propagates to the caller.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let func = self.func;
+        let mut inputs: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let mut outputs: Vec<Option<R>> = (0..inputs.len()).map(|_| None).collect();
+        pool::in_pool(|| apply_split(&mut inputs, &mut outputs, &func));
+        outputs.into_iter().map(|slot| slot.expect("every slot filled")).collect()
+    }
+}
+
+/// Splits the index range in half down to single items, forking each
+/// half through [`join`](crate::join); leaves write `func(item)` into
+/// the item's own output slot.
+fn apply_split<T, R, F>(inputs: &mut [Option<T>], outputs: &mut [Option<R>], func: &F)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    debug_assert_eq!(inputs.len(), outputs.len());
+    if inputs.len() <= 1 {
+        if let Some(item) = inputs.first_mut().and_then(Option::take) {
+            outputs[0] = Some(func(item));
+        }
+        return;
+    }
+    let mid = inputs.len() / 2;
+    let (in_lo, in_hi) = inputs.split_at_mut(mid);
+    let (out_lo, out_hi) = outputs.split_at_mut(mid);
+    pool::join(|| apply_split(in_lo, out_lo, func), || apply_split(in_hi, out_hi, func));
+}
+
+/// Mirror of `rayon::prelude::IntoParallelIterator`, now backed by the
+/// real pool. Items must be `Send`, exactly as under the real crate.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// The element type.
+    type Item: Send;
+    /// Starts a parallel iteration over `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Iter = ParIter<I::Item>;
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// Mirror of `rayon::prelude::IntoParallelRefIterator`: parallel
+/// iteration over `&T`'s items.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+    /// The element type (a reference, for collection types).
+    type Item: Send + 'data;
+    /// Starts a parallel iteration over references into `self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+    <&'data T as IntoIterator>::Item: Send,
+{
+    type Iter = ParIter<<&'data T as IntoIterator>::Item>;
+    type Item = <&'data T as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter { items: self.into_iter().collect() }
+    }
+}

@@ -1,0 +1,743 @@
+//! The work-stealing thread pool behind the facade: per-worker LIFO
+//! deques, a shared FIFO injector queue, randomized stealing, and
+//! parking/unparking for idle workers.
+//!
+//! # Architecture
+//!
+//! A [`Registry`] owns one mutex-guarded `VecDeque` per worker (the
+//! worker pushes and pops at the **back** — LIFO, so nested splits stay
+//! cache-hot — while thieves steal from the **front**, taking the oldest
+//! and therefore largest pending subtree) plus a shared FIFO injector
+//! for jobs arriving from outside the pool. Idle workers scan: own deque
+//! first, then the injector, then the other deques in a per-worker
+//! xorshift-randomized order; when a full scan finds nothing they park
+//! on the registry's condvar. Every job push and every latch set bumps
+//! an epoch counter under the same lock before notifying, which makes
+//! the park/unpark protocol lost-wakeup-free (an eventcount).
+//!
+//! Blocking operations ([`join`], [`scope`], [`ThreadPool::install`])
+//! never make a worker sleep while work remains: a worker waiting on a
+//! latch keeps executing stolen jobs until the latch trips
+//! (`Registry::wait_until`), so nested parallelism cannot deadlock the
+//! pool. Panics inside jobs are caught at the job boundary, carried to
+//! the blocked caller, and re-thrown there — a panicking task therefore
+//! unwinds the caller instead of wedging a worker.
+//!
+//! # Determinism
+//!
+//! The pool makes no ordering promises between jobs; callers that need
+//! deterministic results must merge in submission order (as
+//! [`ParMap::collect`](crate::iter::ParMap::collect) does by writing
+//! each result into its item's slot). Nothing here reads the
+//! environment; thread counts are chosen by the caller or default to
+//! [`std::thread::available_parallelism`].
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job waiting in some deque. The pointee is
+/// either a stack frame blocked until the job's latch trips
+/// ([`StackJob`]) or a heap allocation freed by execution ([`HeapJob`]),
+/// so the pointer is valid for exactly one `execute` call.
+#[derive(Clone, Copy)]
+struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef only crosses threads together with the Send bounds on
+// the closure it erases (enforced by the public `join`/`spawn` APIs).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef { ptr: job.cast(), exec: execute_erased::<J> }
+    }
+
+    unsafe fn execute(self) {
+        (self.exec)(self.ptr);
+    }
+}
+
+unsafe fn execute_erased<J: Job>(ptr: *const ()) {
+    J::execute(ptr.cast());
+}
+
+trait Job {
+    /// Runs the job. `this` must be valid and is consumed: `execute` is
+    /// called at most once per job.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A job whose closure and result live on the stack of a caller that
+/// blocks until [`Latch`] trips — `join`'s right-hand side and
+/// `install`'s operation.
+struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F, latch: Latch) -> Self {
+        Self { func: Mutex::new(Some(func)), result: Mutex::new(None), latch }
+    }
+
+    /// Takes the stored result, re-raising the job's panic in the
+    /// caller. Only valid after the latch tripped.
+    fn into_result(self) -> R {
+        match self.result.into_inner().expect("job result lock").expect("latch set before result") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = this.func.lock().expect("job func lock").take().expect("job runs once");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.lock().expect("job result lock") = Some(result);
+        // Last touch of `this`: after `set` the blocked owner may free
+        // the job (see Latch::set for the use-after-free protocol).
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job — `scope` spawns. The closure
+/// owns its bookkeeping (scope counter decrement, panic capture).
+struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    fn job_ref(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        unsafe { JobRef::new(Box::into_raw(boxed)) }
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let boxed = Box::from_raw(this.cast_mut());
+        (boxed.func)();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+/// A one-shot "done" flag observed by a blocked caller.
+///
+/// `set` clones the registry handle **before** the releasing store: once
+/// the flag is visible the waiting owner may return and free the latch's
+/// memory, so the setter must not touch `self` afterwards — it notifies
+/// through its own clone.
+struct Latch {
+    flag: AtomicBool,
+    registry: Arc<Registry>,
+}
+
+impl Latch {
+    fn new(registry: Arc<Registry>) -> Self {
+        Self { flag: AtomicBool::new(false), registry }
+    }
+
+    fn probe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        let registry = Arc::clone(&self.registry);
+        self.flag.store(true, Ordering::Release);
+        registry.notify();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct SleepState {
+    /// Bumped (under the lock) on every event a sleeper could be waiting
+    /// for: a job push or a latch set. Waiters re-check their condition
+    /// whenever the epoch moved — the eventcount that makes parking
+    /// lost-wakeup-free.
+    epoch: u64,
+    terminating: bool,
+}
+
+/// Shared state of one pool: deques, injector, and the sleep protocol.
+struct Registry {
+    /// One LIFO deque per worker: the owner pushes/pops at the back,
+    /// thieves steal from the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// FIFO queue for jobs injected from outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Mutex<SleepState>,
+    wakeup: Condvar,
+}
+
+thread_local! {
+    /// (registry, worker index) of the pool this thread belongs to.
+    static WORKER: std::cell::RefCell<Option<(Arc<Registry>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Per-thread xorshift state for randomized steal order.
+    static STEAL_RNG: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The calling thread's (registry, index) if it is a pool worker.
+fn current_worker() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with(|w| w.borrow().clone())
+}
+
+fn steal_seed(index: usize) -> u64 {
+    // splitmix64 of the worker index: deterministic, well-mixed, nonzero.
+    let mut z = (index as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) | 1
+}
+
+fn steal_next(bound: usize) -> usize {
+    STEAL_RNG.with(|cell| {
+        let mut x = cell.get();
+        if x == 0 {
+            x = 0x2545_f491_4f6c_dd1d; // non-worker threads share a fixed stream
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        cell.set(x);
+        (x % bound.max(1) as u64) as usize
+    })
+}
+
+impl Registry {
+    fn new(threads: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(SleepState { epoch: 0, terminating: false }),
+            wakeup: Condvar::new(),
+        })
+    }
+
+    /// Bumps the epoch and wakes every parked thread. Called after any
+    /// state change a sleeper could be waiting on.
+    fn notify(&self) {
+        let mut s = self.sleep.lock().expect("sleep lock");
+        s.epoch += 1;
+        drop(s);
+        self.wakeup.notify_all();
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.sleep.lock().expect("sleep lock").epoch
+    }
+
+    /// Pushes onto a worker's own deque (LIFO end).
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().expect("deque lock").push_back(job);
+        self.notify();
+    }
+
+    /// Pushes onto the shared FIFO injector.
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().expect("injector lock").push_back(job);
+        self.notify();
+    }
+
+    /// Pops the calling worker's most recent push *iff* it is still the
+    /// job it expects — i.e. it was not stolen in the meantime.
+    fn pop_local_if(&self, index: usize, expected: JobRef) -> bool {
+        let mut deque = self.deques[index].lock().expect("deque lock");
+        if deque.back().is_some_and(|j| std::ptr::eq(j.ptr, expected.ptr)) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One full scan for work: own deque (LIFO), injector (FIFO), then
+    /// every other deque in randomized order (stealing the oldest job).
+    fn find_work(&self, index: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = index {
+            if let Some(job) = self.deques[i].lock().expect("deque lock").pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().expect("injector lock").pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = steal_next(n);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == index {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().expect("deque lock").pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocks until `latch` trips, executing other pool work while
+    /// waiting (workers must never sleep on a latch while runnable jobs
+    /// exist — that is what makes nested `join`/`scope` deadlock-free).
+    fn wait_until(&self, index: Option<usize>, latch: &Latch) {
+        loop {
+            let epoch = self.current_epoch();
+            if latch.probe() {
+                return;
+            }
+            if let Some(job) = self.find_work(index) {
+                unsafe { job.execute() };
+                continue;
+            }
+            let s = self.sleep.lock().expect("sleep lock");
+            if latch.probe() {
+                return;
+            }
+            if s.epoch == epoch {
+                let _unused = self.wakeup.wait(s).expect("sleep lock");
+            }
+        }
+    }
+
+    /// Parks the calling (non-worker) thread until `latch` trips. The
+    /// probe happens under the sleep lock, which `Latch::set`'s notify
+    /// also takes, so the wakeup cannot be lost.
+    fn wait_blocking(&self, latch: &Latch) {
+        let mut s = self.sleep.lock().expect("sleep lock");
+        while !latch.probe() {
+            s = self.wakeup.wait(s).expect("sleep lock");
+        }
+    }
+
+    /// Runs `op` on a worker of this pool and blocks until it finishes,
+    /// re-raising its panic in the caller. The calling thread must not
+    /// be a worker of this pool.
+    fn run_on_worker<F, R>(self: &Arc<Self>, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(op, Latch::new(Arc::clone(self)));
+        let job_ref = unsafe { JobRef::new(&job) };
+        self.inject(job_ref);
+        // External threads park rather than steal: running this pool's
+        // jobs on a foreign thread would let nested `join`s migrate to
+        // whatever pool that thread belongs to instead of this one.
+        self.wait_blocking(&job.latch);
+        job.into_result()
+    }
+
+    fn worker_main(self: Arc<Self>, index: usize) {
+        WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&self), index)));
+        STEAL_RNG.with(|cell| cell.set(steal_seed(index)));
+        loop {
+            let epoch = self.current_epoch();
+            if let Some(job) = self.find_work(Some(index)) {
+                unsafe { job.execute() };
+                continue;
+            }
+            let s = self.sleep.lock().expect("sleep lock");
+            if s.terminating {
+                return;
+            }
+            if s.epoch == epoch {
+                let _unused = self.wakeup.wait(s).expect("sleep lock");
+            }
+        }
+    }
+
+    fn terminate(&self) {
+        let mut s = self.sleep.lock().expect("sleep lock");
+        s.terminating = true;
+        s.epoch += 1;
+        drop(s);
+        self.wakeup.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results. `b` is published to the pool while the calling thread runs
+/// `a`; if no other worker stole it in the meantime the caller runs it
+/// inline (so a 1-thread pool degrades to exactly sequential `(a(), b())`
+/// order). Called from outside any pool, the whole join migrates onto
+/// the global pool first.
+///
+/// A panic in either closure propagates to the caller — after both
+/// closures finished, so the panicking side can never leave the other
+/// running against a freed stack. If both panic, `a`'s payload wins.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some((registry, index)) => join_on_worker(&registry, index, a, b),
+        None => global_pool().registry.run_on_worker(|| join(a, b)),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Arc<Registry>, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b, Latch::new(Arc::clone(registry)));
+    let job_ref = unsafe { JobRef::new(&job_b) };
+    registry.push_local(index, job_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Reclaim b if it was not stolen (the common, allocation-free path);
+    // otherwise keep working until the thief's latch trips. This runs on
+    // the panic path too: b may borrow our stack frame.
+    if registry.pop_local_if(index, job_ref) {
+        unsafe { job_ref.execute() };
+    } else {
+        registry.wait_until(Some(index), &job_b.latch);
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------------
+
+/// A scope for spawning jobs that may borrow the enclosing stack frame
+/// (lifetime `'scope`). Created by [`scope`], which blocks until every
+/// spawn completed.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding work units: 1 for the scope body plus 1 per spawn.
+    pending: AtomicUsize,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over `'scope`, mirroring rayon.
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the pool. The closure may borrow anything that
+    /// outlives the [`scope`] call; [`scope`] does not return until
+    /// every spawn (including nested ones) has finished.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `scope()` blocks until `pending` hits zero, so `self`
+        // outlives the job even though the JobRef erases `'scope`.
+        let this: *const Scope<'scope> = self;
+        let job = unsafe { spawn_job_ref(this, body) };
+        match current_worker() {
+            Some((registry, index)) if Arc::ptr_eq(&registry, &self.registry) => {
+                registry.push_local(index, job);
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+
+    fn job_completed(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.latch.set();
+        }
+    }
+}
+
+impl fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.pending.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Send-able wrapper for the raw scope pointer captured by spawn jobs.
+/// Soundness piggybacks on the [`scope`] contract: the pointee outlives
+/// every job that holds one of these.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+// SAFETY: Scope's shared state (pending/latch/panic slot) is Sync; the
+// pointer itself only crosses threads inside pool jobs bounded by the
+// scope's completion latch.
+unsafe impl Send for ScopePtr<'_> {}
+
+/// Erases `'scope` from a spawn closure. Caller guarantees the scope
+/// outlives the job (the scope's pending counter + completion latch).
+unsafe fn spawn_job_ref<'scope, F>(scope: *const Scope<'scope>, body: F) -> JobRef
+where
+    F: FnOnce(&Scope<'scope>) + Send + 'scope,
+{
+    let scope = ScopePtr(scope);
+    let func = move || {
+        // Rebind the whole wrapper: edition-2021 disjoint capture would
+        // otherwise capture the raw `.0` field, which is not Send.
+        let scope = scope;
+        // SAFETY: see caller contract — the scope is alive until
+        // `job_completed` below has run for every spawn.
+        let scope = unsafe { &*scope.0 };
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+            let mut slot = scope.panic.lock().expect("scope panic lock");
+            slot.get_or_insert(payload);
+        }
+        scope.job_completed();
+    };
+    // Transmute the closure's lifetime away; bounded by the scope latch.
+    let erased: Box<dyn FnOnce() + Send + 'scope> = Box::new(func);
+    let erased: Box<dyn FnOnce() + Send + 'static> = std::mem::transmute(erased);
+    HeapJob::job_ref(erased)
+}
+
+/// Creates a [`Scope`] whose spawns may borrow the enclosing frame and
+/// blocks until the body *and* every spawn completed. Runs on the
+/// current pool, or migrates onto the global pool when called from
+/// outside any pool.
+///
+/// Panics in the body or in any spawn propagate to the caller once all
+/// work finished (body panic wins; among spawns, the first captured).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    match current_worker() {
+        Some((registry, index)) => scope_on(&registry, Some(index), f),
+        None => {
+            let pool = global_pool();
+            let registry = Arc::clone(&pool.registry);
+            registry.run_on_worker(|| scope(f))
+        }
+    }
+}
+
+fn scope_on<'scope, F, R>(registry: &Arc<Registry>, index: Option<usize>, f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        registry: Arc::clone(registry),
+        pending: AtomicUsize::new(1),
+        latch: Latch::new(Arc::clone(registry)),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    scope.job_completed(); // the body's own unit
+    registry.wait_until(index, &scope.latch);
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = scope.panic.lock().expect("scope panic lock").take() {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Error building a [`ThreadPool`] (mirrors rayon's opaque build error).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`: configure a thread
+/// count, then [`build`](Self::build) a scoped pool or
+/// [`build_global`](Self::build_global) the process-wide one.
+#[derive(Debug, Default)]
+#[must_use = "a ThreadPoolBuilder does nothing until you call build()"]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` (the default) means
+    /// [`std::thread::available_parallelism`].
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+
+    /// Builds a pool with its own workers; dropping the pool parks no
+    /// orphans — workers are told to terminate and joined.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a worker thread cannot be spawned.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.resolved_threads();
+        let registry = Registry::new(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let reg = Arc::clone(&registry);
+            let handle = thread::Builder::new()
+                .name(format!("rayon-worker-{index}"))
+                .spawn(move || reg.worker_main(index))
+                .map_err(|_| ThreadPoolBuildError { msg: "failed to spawn worker thread" })?;
+            handles.push(handle);
+        }
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Installs the process-wide global pool used by [`join`],
+    /// [`scope`] and parallel iterators called from outside any pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the global pool was already initialized
+    /// (including implicitly, by a prior parallel call).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = self.build()?;
+        GLOBAL
+            .set(pool)
+            .map_err(|_| ThreadPoolBuildError { msg: "global thread pool already initialized" })
+    }
+}
+
+/// A work-stealing pool with a fixed set of worker threads. Dropping the
+/// pool terminates and joins its workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// The number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.deques.len()
+    }
+
+    /// Runs `op` inside this pool — `join`/`scope`/parallel iterators
+    /// called from `op` use this pool's workers — and blocks until it
+    /// returns, re-raising its panic in the caller.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        match current_worker() {
+            Some((registry, _)) if Arc::ptr_eq(&registry, &self.registry) => op(),
+            _ => self.registry.run_on_worker(op),
+        }
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.current_num_threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _unused = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The global pool, created on first use with the automatic thread
+/// count unless [`ThreadPoolBuilder::build_global`] ran first.
+pub(crate) fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new().build().expect("failed to build the global thread pool")
+    })
+}
+
+/// The worker count of the current pool: the pool this thread works
+/// for, else the global pool (mirrors `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    match current_worker() {
+        Some((registry, _)) => registry.deques.len(),
+        None => global_pool().current_num_threads(),
+    }
+}
+
+/// Runs `f` inside the current pool if the caller is already a worker,
+/// else inside the global pool. The entry point parallel iterators use.
+pub(crate) fn in_pool<F, R>(f: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    match current_worker() {
+        Some(_) => f(),
+        None => global_pool().registry.run_on_worker(f),
+    }
+}
