@@ -33,19 +33,24 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use soma_bench::{csv_rows, run_lab, LabEvent, CSV_HEADER};
+use soma_bench::{csv_rows, run_lab_until, LabEvent, CSV_HEADER};
 use soma_search::Parallelism;
+use soma_serve::shutdown;
 use soma_spec::read_experiment;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lab <experiment.soma> [--ledger <path>] [--require-hits] \
-         [--threads <auto|seq|N>]"
+         [--threads <auto|seq|N>] [--version]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--version") {
+        println!("{}", soma_bench::version_line("lab"));
+        return ExitCode::SUCCESS;
+    }
     for knob in ["SOMA_EFFORT", "SOMA_SEED", "SOMA_FULL", "SOMA_THREADS", "SOMA_WORKLOAD"] {
         if std::env::var_os(knob).is_some() {
             eprintln!("lab: ignoring {knob} — the spec file owns the entire run configuration");
@@ -111,7 +116,11 @@ fn main() -> ExitCode {
         spec.parallelism,
         ledger.display()
     );
-    let summary = run_lab(&spec, &ledger, |ev| match ev {
+    // SIGINT/SIGTERM flip one atomic; the orchestrator stops fanning
+    // out, flushes every completed-in-order cell, and returns with
+    // `stopped: true` — the ledger stays a clean, replayable prefix.
+    shutdown::install_signal_handlers();
+    let summary = run_lab_until(&spec, &ledger, shutdown::stop_flag(), |ev| match ev {
         LabEvent::Queued { cell, hash } => eprintln!("[lab] queued   {cell} ({hash})"),
         LabEvent::Cached { cell, .. } => eprintln!("[lab] cached   {cell}"),
         LabEvent::Started { cell } => eprintln!("[lab] started  {cell}"),
@@ -137,6 +146,14 @@ fn main() -> ExitCode {
         summary.misses,
         ledger.display()
     );
+    if summary.stopped {
+        eprintln!(
+            "[lab] interrupted: ledger flushed through {} searched cell(s); \
+             rerun the same spec to resume from there",
+            summary.misses
+        );
+        return ExitCode::from(130);
+    }
     if require_hits && summary.misses > 0 {
         eprintln!(
             "lab: --require-hits: {} cell(s) were not served from the ledger",

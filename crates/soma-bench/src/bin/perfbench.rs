@@ -1,9 +1,12 @@
 //! Search-throughput benchmark: schedule evaluations per second through
 //! the naive rebuild-everything path vs the compiled evaluation engine,
 //! per stage, per network, per seed — plus cold-vs-warm timings of the
-//! ledger-backed `lab` orchestrator and thread-count scaling of a
+//! ledger-backed `lab` orchestrator, thread-count scaling of a
 //! seed-portfolio run (outcomes asserted bit-identical across counts
-//! first; the `scaling` section reports wall-clock only).
+//! first; the `scaling` section reports wall-clock only; single-core
+//! hosts get a stderr warning and a `"warning"` stamp in the JSON),
+//! and a `serve` saturation section (cold vs ledger-cached request
+//! storms against an in-process daemon, via `soma_bench::loadgen`).
 //!
 //! Prints a machine-readable JSON document to stdout (committed at the
 //! repo root as `BENCH_search.json`) and commentary to stderr. Both
@@ -272,6 +275,18 @@ fn scaling(rc: &RunConfig) -> String {
 
     let (baseline, seq_s) = run(Parallelism::Sequential);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a single-core host every pool size serializes onto one CPU, so
+    // the section can only measure pool overhead — stamp that into the
+    // JSON so nobody reads the numbers as speedups.
+    let warning = if host_cores == 1 {
+        eprintln!(
+            "[perfbench] warning: host reports a single core — scaling numbers measure \
+             thread-pool overhead, not speedup"
+        );
+        ", \"warning\": \"single-core host: runs measure pool overhead, not speedup\""
+    } else {
+        ""
+    };
     let mut entries =
         vec![format!("{{\"threads\": \"seq\", \"elapsed_s\": {seq_s:.6}, \"speedup\": 1.00}}")];
     eprintln!(
@@ -294,11 +309,70 @@ fn scaling(rc: &RunConfig) -> String {
         );
     }
     format!(
-        "    {{\"scenario\": \"fig2@edge/b1\", \"seeds\": {}, \"host_cores\": {host_cores}, \
+        "    {{\"scenario\": \"fig2@edge/b1\", \"seeds\": {}, \"host_cores\": {host_cores}\
+         {warning}, \
          \"outcomes\": \"bit-identical across all thread counts (asserted)\", \
          \"runs\": [{}]}}",
         seeds.len(),
         entries.join(", ")
+    )
+}
+
+/// Saturation of the serve daemon: an in-process daemon on a private
+/// unix socket, a cold storm (distinct seeds — every request searches)
+/// and then a cache storm (one request repeated — every answer comes
+/// from the ledger). The `req_per_sec` ratio is what the
+/// content-addressed cache buys a serving deployment on repeat traffic.
+fn serve_section(rc: &RunConfig) -> String {
+    use soma_bench::loadgen::{storm, StormConfig};
+    use soma_serve::{start, Listen, ServerConfig};
+
+    let dir = std::env::temp_dir().join("soma-perfbench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let pid = std::process::id();
+    let ledger = dir.join(format!("serve-{pid}.jsonl"));
+    let _ = std::fs::remove_file(&ledger);
+    let (clients, requests) = (4usize, 8usize);
+    let handle = start(ServerConfig {
+        max_inflight: clients,
+        ..ServerConfig::new(Listen::Unix(dir.join(format!("serve-{pid}.sock"))), &ledger)
+    })
+    .expect("in-process serve daemon");
+
+    let cold_cfg = StormConfig {
+        listen: handle.listen().clone(),
+        scenario: "fig2@edge/b1".into(),
+        clients,
+        requests,
+        effort: 0.02 * rc.effort_scale,
+        seed_base: rc.seed,
+        distinct_seeds: true,
+        progress: false,
+    };
+    let cached_cfg =
+        StormConfig { requests: requests * 4, distinct_seeds: false, ..cold_cfg.clone() };
+    let cold = storm(&cold_cfg).expect("cold storm");
+    assert_eq!(cold.cached, 0, "cold storm must not hit the ledger");
+    let cached = storm(&cached_cfg).expect("cache storm");
+    assert_eq!(
+        cached.cached, cached.completed,
+        "cache storm must be answered entirely from the ledger"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&ledger);
+
+    eprintln!(
+        "[perfbench] serve fig2@edge/b1: cold {:>7.1} req/s, cached {:>7.1} req/s \
+         (cache speedup {:.0}x)",
+        cold.req_per_sec(),
+        cached.req_per_sec(),
+        if cold.req_per_sec() > 0.0 { cached.req_per_sec() / cold.req_per_sec() } else { 0.0 }
+    );
+    format!(
+        "    {{\"scenario\": \"fig2@edge/b1\", \"clients\": {clients}, \"phases\": [\n\
+         \x20   {},\n\x20   {}\n\x20   ]}}",
+        cold.to_json("cold"),
+        cached.to_json("cached")
     )
 }
 
@@ -378,6 +452,9 @@ fn main() {
     println!("  ],");
     println!("  \"scaling\": [");
     println!("{}", scaling(&rc));
+    println!("  ],");
+    println!("  \"serve\": [");
+    println!("{}", serve_section(&rc));
     println!("  ]");
     println!("}}");
 }

@@ -30,6 +30,10 @@ use soma_search::Parallelism;
 use soma_spec::read_experiment;
 
 fn main() {
+    if std::env::args().any(|a| a == "--version") {
+        println!("{}", soma_bench::version_line("run"));
+        return;
+    }
     let rc = RunConfig::from_env_or_exit();
     // The spec file owns the search configuration; of the shared knob
     // surface only `SOMA_WORKLOAD` applies here. Knobs that a spec
@@ -40,7 +44,7 @@ fn main() {
         }
     }
     let usage = || -> ! {
-        eprintln!("usage: run <experiment.soma> [--threads <auto|seq|N>]");
+        eprintln!("usage: run <experiment.soma> [--threads <auto|seq|N>] [--version]");
         std::process::exit(2);
     };
     let mut spec_path: Option<String> = None;

@@ -26,21 +26,21 @@
 //!   [`run_experiment`](crate::run_experiment).
 
 use std::collections::{BTreeMap, HashMap};
-use std::fs;
-use std::io::{self, Write as _};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
-use soma_search::record::{outcome_from_json, outcome_to_json, ENGINE_VERSION};
-use soma_search::{Scheduler, SearchConfig, SearchOutcome};
-use soma_spec::{cell_hash_hex, ExperimentCell, ExperimentSpec};
+use soma_search::{Scheduler, SearchOutcome};
+use soma_spec::ExperimentSpec;
 
 use crate::ExperimentRow;
 
-/// Ledger line format version; bumping it invalidates old ledgers.
-pub const LEDGER_VERSION: u64 = 1;
+// The ledger itself lives in `soma_spec::ledger` (it is shared with the
+// `soma-serve` daemon's result cache); re-exported here because the lab
+// orchestrator is its primary producer and historical home.
+pub use soma_spec::ledger::{cell_key, Ledger, LedgerRow, LEDGER_VERSION};
 
 /// A typed progress event of the experiment orchestrator, mirroring the
 /// per-search [`SearchEvent`](soma_search::SearchEvent) one level up:
@@ -86,200 +86,21 @@ pub enum LabEvent {
     },
 }
 
-/// One persisted ledger row: the cell's identity plus its complete
-/// [`SearchOutcome`].
-#[derive(Debug, Clone)]
-pub struct LedgerRow {
-    /// The content hash this row is keyed by (16 hex digits).
-    pub hash: String,
-    /// Scenario id of the cell.
-    pub cell: String,
-    /// Canonical workload name.
-    pub workload: String,
-    /// Resolved platform name.
-    pub platform: String,
-    /// Batch size.
-    pub batch: u32,
-    /// The cell's search outcome, losslessly persisted.
-    pub outcome: SearchOutcome,
-}
-
-impl LedgerRow {
-    fn new(cell: &ExperimentCell, hash: &str, outcome: SearchOutcome) -> Self {
-        Self {
-            hash: hash.to_string(),
-            cell: cell.id.clone(),
-            workload: cell.workload.clone(),
-            platform: cell.platform.clone(),
-            batch: cell.batch,
-            outcome,
-        }
-    }
-
-    /// Renders the row as its single-line JSON ledger entry (no trailing
-    /// newline). Deterministic: equal rows render byte-identically.
-    pub fn to_line(&self) -> String {
-        let mut o = Value::obj();
-        o.push("v", LEDGER_VERSION.into());
-        o.push("hash", self.hash.as_str().into());
-        o.push("cell", self.cell.as_str().into());
-        o.push("workload", self.workload.as_str().into());
-        o.push("platform", self.platform.as_str().into());
-        o.push("batch", self.batch.into());
-        o.push("outcome", outcome_to_json(&self.outcome));
-        json::to_string(&o)
-    }
-
-    fn from_line(line: &str) -> Result<Self, String> {
-        let v = json::parse(line).map_err(|e| e.to_string())?;
-        let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
-        if version != LEDGER_VERSION {
-            return Err(format!("unsupported ledger version {version}"));
-        }
-        let text = |key: &str| -> Result<String, String> {
-            Ok(v.get(key)
-                .and_then(Value::as_str)
-                .ok_or_else(|| format!("missing `{key}`"))?
-                .to_string())
-        };
-        let batch = v.get("batch").and_then(Value::as_u64).ok_or("missing `batch`")?;
-        let outcome = outcome_from_json(v.get("outcome").ok_or("missing `outcome`")?)
-            .map_err(|e| e.to_string())?;
-        Ok(Self {
-            hash: text("hash")?,
-            cell: text("cell")?,
-            workload: text("workload")?,
-            platform: text("platform")?,
-            batch: u32::try_from(batch).map_err(|_| "batch exceeds u32".to_string())?,
-            outcome,
-        })
-    }
-}
-
-/// The on-disk run ledger: an append-only JSONL file mapping cell
-/// content hashes to persisted [`SearchOutcome`]s.
-#[derive(Debug)]
-pub struct Ledger {
-    path: PathBuf,
-    rows: Vec<LedgerRow>,
-    index: HashMap<String, usize>,
-}
-
-impl Ledger {
-    /// Loads (or creates the notion of) the ledger at `path`. A missing
-    /// file is an empty ledger. A partially written trailing line — the
-    /// signature of a run killed mid-append — is dropped and truncated
-    /// away so subsequent appends continue from the last complete row.
-    ///
-    /// # Errors
-    ///
-    /// I/O errors, or a corrupt line *before* the last (which indicates
-    /// real damage rather than an interrupted append).
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let mut ledger = Self { path: path.to_path_buf(), rows: Vec::new(), index: HashMap::new() };
-        let text = match fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ledger),
-            Err(e) => return Err(e),
-        };
-
-        let mut keep_bytes = 0usize;
-        let mut offset = 0usize;
-        let lines: Vec<&str> = text.split('\n').collect();
-        for (i, line) in lines.iter().enumerate() {
-            let is_last = i + 1 == lines.len();
-            if line.is_empty() {
-                offset += 1;
-                continue;
-            }
-            match LedgerRow::from_line(line) {
-                Ok(row) => {
-                    let complete = !is_last; // `split` leaves no trailing '\n' on the last piece
-                    if !complete {
-                        break; // no newline after it: treat as torn write
-                    }
-                    ledger.index.insert(row.hash.clone(), ledger.rows.len());
-                    ledger.rows.push(row);
-                    offset += line.len() + 1;
-                    keep_bytes = offset;
-                }
-                Err(msg) if is_last => {
-                    // Torn trailing line: drop it.
-                    let _ = msg;
-                    break;
-                }
-                Err(msg) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}: corrupt ledger line {}: {msg}", path.display(), i + 1),
-                    ));
-                }
-            }
-        }
-        if keep_bytes < text.len() {
-            // Truncate the torn tail so appends produce a clean file.
-            let f = fs::OpenOptions::new().write(true).open(path)?;
-            f.set_len(keep_bytes as u64)?;
-        }
-        Ok(ledger)
-    }
-
-    /// The ledger's file path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-
-    /// All rows, in file order.
-    pub fn rows(&self) -> &[LedgerRow] {
-        &self.rows
-    }
-
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether the ledger holds no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Looks up a row by its cell content hash.
-    pub fn lookup(&self, hash: &str) -> Option<&LedgerRow> {
-        self.index.get(hash).map(|&i| &self.rows[i])
-    }
-
-    /// Appends one row, creating parent directories and the file on
-    /// first use, and flushes before returning.
-    fn append(&mut self, row: LedgerRow) -> io::Result<()> {
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir)?;
-            }
-        }
-        let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
-        writeln!(f, "{}", row.to_line())?;
-        f.flush()?;
-        self.index.insert(row.hash.clone(), self.rows.len());
-        self.rows.push(row);
-        Ok(())
-    }
-}
-
-/// The ledger key of one experiment cell under a spec's configuration.
-pub fn cell_key(cell: &ExperimentCell, config: &SearchConfig, seeds: &[u64]) -> String {
-    cell_hash_hex(&cell.id, &cell.hw, config, seeds, ENGINE_VERSION)
-}
-
 /// What [`run_lab`] reports back.
 #[derive(Debug)]
 pub struct LabSummary {
     /// One row per cell, in spec cell order (cached and fresh alike).
+    /// On a [`stopped`](Self::stopped) run, only the cells whose
+    /// outcome is known — ledger hits plus flushed misses.
     pub rows: Vec<ExperimentRow>,
     /// Cells served from the ledger.
     pub hits: usize,
     /// Cells that ran a search (and were appended to the ledger).
     pub misses: usize,
+    /// Whether a [`run_lab_until`] stop flag cut the run short. The
+    /// ledger still holds a valid in-cell-order prefix; rerunning the
+    /// same spec resumes from it.
+    pub stopped: bool,
 }
 
 /// In-order ledger flusher: completed cells park in `ready` until every
@@ -335,6 +156,34 @@ impl InOrderFlush<'_, '_> {
 pub fn run_lab(
     spec: &ExperimentSpec,
     ledger_path: &Path,
+    observer: impl FnMut(&LabEvent) + Send,
+) -> io::Result<LabSummary> {
+    run_lab_until(spec, ledger_path, &AtomicBool::new(false), observer)
+}
+
+/// [`run_lab`] with a cooperative stop flag — the graceful-shutdown
+/// entry point behind the `lab` binary's SIGINT handling.
+///
+/// The flag is checked **between cells**: once it reads `true`, cells
+/// whose search has not started are skipped, in-flight searches finish,
+/// and — because the ledger is written strictly in cell order — every
+/// row flushed before the stop still forms a valid in-order prefix. A
+/// rerun of the same spec resumes from exactly that prefix and produces
+/// a final ledger byte-identical to an uninterrupted run.
+///
+/// When the run was stopped early, [`LabSummary::stopped`] is `true`
+/// and [`LabSummary::rows`] holds only the cells whose outcome is
+/// known (ledger hits plus flushed misses) — later cells are simply
+/// absent, never fabricated.
+///
+/// # Errors
+///
+/// I/O errors loading or appending the ledger, or corrupt non-trailing
+/// ledger lines.
+pub fn run_lab_until(
+    spec: &ExperimentSpec,
+    ledger_path: &Path,
+    stop: &AtomicBool,
     mut observer: impl FnMut(&LabEvent) + Send,
 ) -> io::Result<LabSummary> {
     let cells = spec.cells();
@@ -382,8 +231,17 @@ pub fn run_lab(
         err: None,
     });
     let work: Vec<(usize, usize)> = misses.iter().copied().enumerate().collect();
-    let finished: Vec<(usize, SearchOutcome)> =
+    let finished: Vec<Option<(usize, usize, SearchOutcome)>> =
         spec.parallelism.map_collect(work, |(miss_pos, cell_idx)| {
+            // The graceful-stop point: a cell whose search has not
+            // begun when the flag flips is skipped entirely. It never
+            // reaches the flusher, so no later cell can be written
+            // either (the flusher only advances through a contiguous
+            // prefix) — exactly the interrupted-run ledger shape the
+            // resume path already handles.
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
             let cell = &cells[cell_idx];
             let key = &keys[cell_idx];
             {
@@ -404,17 +262,27 @@ pub fn run_lab(
             };
             let row = LedgerRow::new(cell, key, outcome.clone());
             flush.lock().expect("ledger flusher poisoned").complete(miss_pos, row, done);
-            (cell_idx, outcome)
+            Some((miss_pos, cell_idx, outcome))
         });
 
     let state = flush.into_inner().expect("ledger flusher poisoned");
     if let Some(e) = state.err {
         return Err(e);
     }
-    debug_assert_eq!(state.next, misses.len(), "every miss was flushed");
+    // A shortfall in flushed misses can only come from a stop request
+    // (every started search completes and flushes); the converse need
+    // not hold — a flag raised after the last cell changes nothing.
+    let flushed = state.next;
+    let stopped = flushed < misses.len();
 
-    for (cell_idx, outcome) in finished {
-        outcomes[cell_idx] = Some(outcome);
+    for item in finished.into_iter().flatten() {
+        let (miss_pos, cell_idx, outcome) = item;
+        // A search that completed but whose row never reached the
+        // ledger (an earlier cell was skipped) is discarded: reporting
+        // it would claim a result the ledger cannot replay.
+        if miss_pos < flushed {
+            outcomes[cell_idx] = Some(outcome);
+        }
     }
     for (dup, first) in duplicates {
         outcomes[dup] = outcomes[first].clone();
@@ -423,16 +291,22 @@ pub fn run_lab(
     let rows = cells
         .into_iter()
         .zip(outcomes)
-        .map(|(cell, outcome)| ExperimentRow {
-            cell,
-            outcome: outcome.expect("every cell is a hit or a flushed miss"),
+        .filter_map(|(cell, outcome)| {
+            debug_assert!(
+                outcome.is_some() || stopped,
+                "a completed run resolves every cell (hit or flushed miss)"
+            );
+            outcome.map(|outcome| ExperimentRow { cell, outcome })
         })
         .collect();
-    Ok(LabSummary { rows, hits, misses: misses.len() })
+    Ok(LabSummary { rows, hits, misses: flushed, stopped })
 }
 
 #[cfg(test)]
 mod tests {
+    use std::fs;
+    use std::path::PathBuf;
+
     use super::*;
     use soma_spec::read_experiment;
 
@@ -534,6 +408,47 @@ mod tests {
         // And the rerun is total-recall: both cells hit the ledger.
         let warm = run_lab(&spec, &path, |_| {}).unwrap();
         assert_eq!((warm.hits, warm.misses), (2, 0));
+    }
+
+    #[test]
+    fn stopped_run_leaves_a_replayable_prefix() {
+        // Sequential so "first finished cell" is deterministic.
+        let text = "soma-experiment v1\nname stop\nscenario fig2@edge/b1\n\
+                    scenario fig4@edge/b1\nscenario fig2@edge/b4\nseeds 7\n\
+                    effort 0.01\nthreads seq\nend\n";
+        let spec = read_experiment(text).unwrap();
+
+        let golden_path = tmp("stop-golden.jsonl");
+        let _ = fs::remove_file(&golden_path);
+        run_lab(&spec, &golden_path, |_| {}).unwrap();
+        let golden = fs::read(&golden_path).unwrap();
+
+        // Raise the stop flag the moment the first cell finishes.
+        let path = tmp("stop.jsonl");
+        let _ = fs::remove_file(&path);
+        let stop = AtomicBool::new(false);
+        let summary = run_lab_until(&spec, &path, &stop, |ev| {
+            if matches!(ev, LabEvent::Finished { .. }) {
+                stop.store(true, Ordering::SeqCst);
+            }
+        })
+        .unwrap();
+        assert!(summary.stopped);
+        assert_eq!((summary.hits, summary.misses), (0, 1));
+        assert_eq!(summary.rows.len(), 1, "only known outcomes are reported");
+
+        // The interrupted ledger is a clean, loadable prefix of the
+        // uninterrupted one...
+        assert_eq!(Ledger::load(&path).unwrap().len(), 1);
+        let partial = fs::read(&path).unwrap();
+        assert!(golden.starts_with(&partial), "interrupted ledger is a byte prefix");
+
+        // ...and a rerun resumes from it, byte-identical to a run that
+        // was never interrupted.
+        let resumed = run_lab(&spec, &path, |_| {}).unwrap();
+        assert!(!resumed.stopped);
+        assert_eq!((resumed.hits, resumed.misses), (1, 2));
+        assert_eq!(fs::read(&path).unwrap(), golden);
     }
 
     #[test]

@@ -29,9 +29,24 @@
 
 pub mod experiment;
 pub mod lab;
+pub mod loadgen;
 
 pub use experiment::{csv_rows, run_cells, run_experiment, ExperimentRow, CSV_HEADER};
-pub use lab::{run_lab, LabEvent, LabSummary, Ledger, LedgerRow};
+pub use lab::{run_lab, run_lab_until, LabEvent, LabSummary, Ledger, LedgerRow};
+pub use loadgen::{storm, StormConfig, StormReport};
+
+/// One `--version` line shared by every binary in this crate: binary
+/// name, crate version, the engine fingerprint baked into ledger keys,
+/// and the serve wire-protocol version.
+#[must_use]
+pub fn version_line(binary: &str) -> String {
+    format!(
+        "{binary} {} (engine {}, protocol v{})",
+        env!("CARGO_PKG_VERSION"),
+        soma_search::record::ENGINE_VERSION,
+        soma_serve::PROTOCOL_VERSION,
+    )
+}
 
 use std::fmt;
 

@@ -1,0 +1,207 @@
+//! Request-storm driver for the serve daemon: N concurrent client
+//! connections hammer one scenario with a fixed total request count,
+//! and every request's submit→result latency is recorded.
+//!
+//! Two storm shapes matter for the benchmark:
+//!
+//! * **cold** — `distinct_seeds: true` gives every request its own seed,
+//!   so every request is a full search (ledger misses).
+//! * **cached** — `distinct_seeds: false` repeats one request verbatim,
+//!   so after the first miss everything is served from the ledger.
+//!
+//! The ratio of the two `req_per_sec` numbers is the headline: what the
+//! content-addressed ledger buys a serving deployment on repeat traffic.
+//! Both the `loadgen` binary and perfbench's `serve` section drive this
+//! module; the work split is a shared atomic counter, so a slow request
+//! on one connection never stalls the others.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use soma_serve::{Client, Listen, SubmitRequest, Target};
+
+/// One storm's shape: where to aim, what to ask for, how hard.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// The daemon endpoint.
+    pub listen: Listen,
+    /// Registry scenario id every request names.
+    pub scenario: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Per-request search effort (forwarded as the submit's `effort`).
+    pub effort: f64,
+    /// Base seed; request `i` uses `seed_base + i` when
+    /// `distinct_seeds`, else `seed_base` verbatim.
+    pub seed_base: u64,
+    /// `true` = every request is a distinct cold search; `false` =
+    /// every request repeats one cell (cache storm).
+    pub distinct_seeds: bool,
+    /// Ask the daemon to stream progress frames (more wire traffic,
+    /// closer to an interactive client).
+    pub progress: bool,
+}
+
+/// Merged result of one storm: counts plus the sorted latency sample.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// Requests attempted (== the config's `requests`).
+    pub requests: usize,
+    /// Requests that produced an outcome.
+    pub completed: usize,
+    /// Completed requests served from the ledger.
+    pub cached: usize,
+    /// Requests refused by admission control.
+    pub rejected: usize,
+    /// Wall-clock of the whole storm.
+    pub elapsed_s: f64,
+    /// Per-request submit→terminal-frame latencies, sorted ascending.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl StormReport {
+    /// Completed requests per wall-clock second.
+    #[must_use]
+    pub fn req_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile of the latency sample, `p` in `[0, 100]`.
+    /// `0.0` on an empty sample.
+    #[must_use]
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.latencies_ms.len() as f64).ceil() as usize;
+        self.latencies_ms[rank.saturating_sub(1).min(self.latencies_ms.len() - 1)]
+    }
+
+    /// One perfbench-style JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self, label: &str) -> String {
+        format!(
+            "{{\"phase\": \"{label}\", \"requests\": {}, \"completed\": {}, \
+             \"cached\": {}, \"rejected\": {}, \"elapsed_s\": {:.6}, \
+             \"req_per_sec\": {:.1}, \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \
+             \"p99\": {:.3}}}}}",
+            self.requests,
+            self.completed,
+            self.cached,
+            self.rejected,
+            self.elapsed_s,
+            self.req_per_sec(),
+            self.percentile_ms(50.0),
+            self.percentile_ms(90.0),
+            self.percentile_ms(99.0),
+        )
+    }
+}
+
+/// Runs one storm to completion and merges every connection's tallies.
+///
+/// # Errors
+///
+/// Connect or transport failures on any connection abort the storm with
+/// the first error. Typed rejects are *not* errors — they are counted.
+pub fn storm(cfg: &StormConfig) -> io::Result<StormReport> {
+    let total = cfg.requests;
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+
+    let workers: Vec<_> = (0..cfg.clients.max(1))
+        .map(|_| {
+            let cfg = cfg.clone();
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || -> io::Result<(usize, usize, usize, Vec<f64>)> {
+                let mut client = Client::connect(&cfg.listen)?;
+                let (mut completed, mut cached, mut rejected) = (0usize, 0usize, 0usize);
+                let mut latencies = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let seed =
+                        if cfg.distinct_seeds { cfg.seed_base + i as u64 } else { cfg.seed_base };
+                    let req = SubmitRequest {
+                        id: format!("storm-{i}"),
+                        target: Target::Scenario(cfg.scenario.clone()),
+                        seeds: vec![seed],
+                        effort: Some(cfg.effort),
+                        progress: cfg.progress,
+                    };
+                    let t = Instant::now();
+                    let sub = client.submit(req)?;
+                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                    if sub.succeeded() {
+                        completed += 1;
+                        if sub.cached {
+                            cached += 1;
+                        }
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                Ok((completed, cached, rejected, latencies))
+            })
+        })
+        .collect();
+
+    let (mut completed, mut cached, mut rejected) = (0usize, 0usize, 0usize);
+    let mut latencies_ms = Vec::with_capacity(total);
+    for worker in workers {
+        let (c, h, r, l) = worker.join().expect("storm worker panicked")?;
+        completed += c;
+        cached += h;
+        rejected += r;
+        latencies_ms.extend(l);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    Ok(StormReport { requests: total, completed, cached, rejected, elapsed_s, latencies_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies_ms: Vec<f64>) -> StormReport {
+        StormReport {
+            requests: latencies_ms.len(),
+            completed: latencies_ms.len(),
+            cached: 0,
+            rejected: 0,
+            elapsed_s: 1.0,
+            latencies_ms,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let r = report((1..=100).map(f64::from).collect());
+        assert_eq!(r.percentile_ms(50.0), 50.0);
+        assert_eq!(r.percentile_ms(90.0), 90.0);
+        assert_eq!(r.percentile_ms(99.0), 99.0);
+        assert_eq!(r.percentile_ms(100.0), 100.0);
+        assert_eq!(report(vec![]).percentile_ms(50.0), 0.0);
+        assert_eq!(report(vec![7.0]).percentile_ms(99.0), 7.0);
+    }
+
+    #[test]
+    fn report_renders_one_json_object() {
+        let json = report(vec![1.0, 2.0, 3.0]).to_json("cold");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"phase\": \"cold\""), "{json}");
+        assert!(json.contains("\"req_per_sec\": 3.0"), "{json}");
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end pins of the `SOMA_*` knob surface through
+//! [`RunConfig::from_env`]: junk values must be **hard errors** with
+//! exact, actionable messages — never silent fallbacks that mislabel a
+//! results CSV.
+//!
+//! Everything lives in one `#[test]` because the process environment is
+//! global: the libtest harness runs tests on concurrent threads, and
+//! two tests mutating `SOMA_THREADS` would race. One test, sequential
+//! cases, environment restored at the end.
+
+use soma_bench::RunConfig;
+use soma_search::Parallelism;
+
+/// Runs `f` with `SOMA_THREADS` set to `value`, restoring the previous
+/// state afterwards so a failing case cannot poison later ones.
+fn with_threads(value: Option<&str>, f: impl FnOnce()) {
+    let saved = std::env::var_os("SOMA_THREADS");
+    match value {
+        Some(v) => std::env::set_var("SOMA_THREADS", v),
+        None => std::env::remove_var("SOMA_THREADS"),
+    }
+    f();
+    match saved {
+        Some(v) => std::env::set_var("SOMA_THREADS", v),
+        None => std::env::remove_var("SOMA_THREADS"),
+    }
+}
+
+#[test]
+fn soma_threads_junk_is_a_hard_error_with_an_exact_message() {
+    // Junk values: the error names the variable, quotes the raw value
+    // verbatim (untrimmed), and states the accepted grammar.
+    for junk in ["junk", "0", "-1", "1e2", "fast", "0x4", ""] {
+        with_threads(Some(junk), || {
+            let err = RunConfig::from_env().expect_err(junk);
+            assert_eq!(
+                err.to_string(),
+                format!(
+                    "invalid SOMA_THREADS={junk:?}: expected \
+                     `auto`, `seq`, or a thread count >= 1"
+                )
+            );
+        });
+    }
+
+    // The raw value lands in the message even when only whitespace is
+    // wrong around an otherwise-bad token.
+    with_threads(Some("  zoom  "), || {
+        let err = RunConfig::from_env().expect_err("padded junk");
+        assert_eq!(
+            err.to_string(),
+            "invalid SOMA_THREADS=\"  zoom  \": expected \
+             `auto`, `seq`, or a thread count >= 1"
+        );
+    });
+
+    // Well-formed values parse to the documented policies, trimmed.
+    let cases = [
+        ("auto", Parallelism::Auto),
+        ("seq", Parallelism::Sequential),
+        ("1", Parallelism::Sequential),
+        (" 4 ", Parallelism::Fixed(4)),
+    ];
+    for (value, want) in cases {
+        with_threads(Some(value), || {
+            let rc = RunConfig::from_env().expect(value);
+            assert_eq!(rc.threads, want, "SOMA_THREADS={value:?}");
+        });
+    }
+
+    // Absent keeps the default.
+    with_threads(None, || {
+        assert_eq!(RunConfig::from_env().unwrap().threads, Parallelism::Auto);
+    });
+}

@@ -22,7 +22,7 @@ use crate::session::Scheduler;
 use crate::SearchConfig;
 
 /// Result of a full SoMa exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[must_use]
 pub struct SearchOutcome {
     /// The stage-1 scheme behind the best overall scheme, evaluated under

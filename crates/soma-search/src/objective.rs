@@ -39,7 +39,7 @@ impl Default for CostWeights {
 }
 
 /// A fully evaluated scheduling scheme.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[must_use]
 pub struct Evaluated {
     /// The scheme.

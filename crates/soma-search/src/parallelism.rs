@@ -141,6 +141,31 @@ mod tests {
     }
 
     #[test]
+    fn hostile_inputs_pin_their_exact_error_message() {
+        // The message is part of the CLI/env contract (`--threads`,
+        // `SOMA_THREADS` surface it verbatim) — pin it exactly.
+        let msg = |input: &str| {
+            format!(
+                "invalid parallelism `{}`: expected `auto`, `seq`, or a thread count >= 1",
+                input.trim()
+            )
+        };
+        for input in ["0", "-1", "fast", "0x4", "1e2", "18446744073709551616", ""] {
+            assert_eq!(input.parse::<Parallelism>().unwrap_err(), msg(input), "input {input:?}");
+        }
+        // Whitespace is trimmed both for parsing and in the message.
+        assert_eq!(" -1 ".parse::<Parallelism>().unwrap_err(), msg("-1"));
+        assert_eq!("  4 ".parse::<Parallelism>().unwrap(), Parallelism::Fixed(4));
+        assert_eq!("auto ".parse::<Parallelism>().unwrap(), Parallelism::Auto);
+        // `usize::from_str` accepts an explicit sign, so `+4` is a pool
+        // of four — pinned here so a change to the parser shows up.
+        assert_eq!("+4".parse::<Parallelism>().unwrap(), Parallelism::Fixed(4));
+        // A count beyond usize::MAX is junk, not a saturated pool.
+        let huge = "18446744073709551616".parse::<Parallelism>();
+        assert!(huge.is_err(), "u64::MAX + 1 must not parse");
+    }
+
+    #[test]
     fn display_round_trips() {
         for p in [Parallelism::Auto, Parallelism::Sequential, Parallelism::Fixed(6)] {
             assert_eq!(p.to_string().parse::<Parallelism>().unwrap(), p);

@@ -17,6 +17,7 @@ use soma_sim::{EnergyBreakdown, EvalReport, Timeline};
 
 use crate::allocator::SearchOutcome;
 use crate::objective::Evaluated;
+use crate::session::SearchEvent;
 
 /// Version tag of the search/evaluation engine, hashed into ledger cell
 /// keys. Bump whenever a change alters what any search returns at a
@@ -240,6 +241,89 @@ pub fn outcome_from_json(v: &Value) -> Result<SearchOutcome, RecordError> {
     })
 }
 
+fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, RecordError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| RecordError::new(format!("field `{key}` is not a string")))
+}
+
+/// Renders a [`SearchEvent`] as a snake_case-tagged JSON object — the
+/// wire form the `soma-serve` daemon streams as progress frames. Same
+/// contract as [`outcome_to_json`]: lossless, and equal events render
+/// byte-identically.
+pub fn event_to_json(ev: &SearchEvent) -> Value {
+    let mut o = Value::obj();
+    match ev {
+        SearchEvent::RoundStarted { round, stage1_budget } => {
+            o.push("event", "round_started".into());
+            o.push("round", (*round as u64).into());
+            o.push("stage1_budget", (*stage1_budget).into());
+        }
+        SearchEvent::StageFinished { round, stage, cost, evals } => {
+            o.push("event", "stage_finished".into());
+            o.push("round", (*round as u64).into());
+            o.push("stage", stage.as_str().into());
+            o.push("cost", (*cost).into());
+            o.push("evals", (*evals).into());
+        }
+        SearchEvent::NewBest { round, cost, latency_cycles } => {
+            o.push("event", "new_best".into());
+            o.push("round", (*round as u64).into());
+            o.push("cost", (*cost).into());
+            o.push("latency_cycles", (*latency_cycles).into());
+        }
+        SearchEvent::SeedFinished { seed, cost, evals, rejected } => {
+            o.push("event", "seed_finished".into());
+            o.push("seed", (*seed).into());
+            o.push("cost", (*cost).into());
+            o.push("evals", (*evals).into());
+            o.push("rejected", (*rejected).into());
+        }
+        SearchEvent::BudgetExhausted { rounds, evals } => {
+            o.push("event", "budget_exhausted".into());
+            o.push("rounds", (*rounds as u64).into());
+            o.push("evals", (*evals).into());
+        }
+    }
+    o
+}
+
+/// Reconstructs a [`SearchEvent`] from [`event_to_json`]'s rendering.
+///
+/// # Errors
+///
+/// [`RecordError`] on an unknown tag or any missing/mistyped field.
+pub fn event_from_json(v: &Value) -> Result<SearchEvent, RecordError> {
+    match get_str(v, "event")? {
+        "round_started" => Ok(SearchEvent::RoundStarted {
+            round: get_u64(v, "round")? as usize,
+            stage1_budget: get_u64(v, "stage1_budget")?,
+        }),
+        "stage_finished" => Ok(SearchEvent::StageFinished {
+            round: get_u64(v, "round")? as usize,
+            stage: get_str(v, "stage")?.to_string(),
+            cost: get_f64(v, "cost")?,
+            evals: get_u64(v, "evals")?,
+        }),
+        "new_best" => Ok(SearchEvent::NewBest {
+            round: get_u64(v, "round")? as usize,
+            cost: get_f64(v, "cost")?,
+            latency_cycles: get_u64(v, "latency_cycles")?,
+        }),
+        "seed_finished" => Ok(SearchEvent::SeedFinished {
+            seed: get_u64(v, "seed")?,
+            cost: get_f64(v, "cost")?,
+            evals: get_u64(v, "evals")?,
+            rejected: get_u64(v, "rejected")?,
+        }),
+        "budget_exhausted" => Ok(SearchEvent::BudgetExhausted {
+            rounds: get_u64(v, "rounds")? as usize,
+            evals: get_u64(v, "evals")?,
+        }),
+        other => Err(RecordError::new(format!("unknown event tag `{other}`"))),
+    }
+}
+
 /// [`outcome_to_json`] straight to a compact single-line JSON string.
 pub fn outcome_to_string(out: &SearchOutcome) -> String {
     json::to_string(&outcome_to_json(out))
@@ -298,6 +382,44 @@ mod tests {
         assert!(out.best.encoding.dlsa.is_some(), "stage 2 schedules the DLSA explicitly");
         let back = outcome_from_str(&outcome_to_string(&out)).unwrap();
         assert_eq!(out.best.encoding.dlsa, back.best.encoding.dlsa);
+    }
+
+    #[test]
+    fn every_event_variant_round_trips() {
+        let events = [
+            SearchEvent::RoundStarted { round: 3, stage1_budget: 1 << 21 },
+            SearchEvent::StageFinished {
+                round: 3,
+                stage: "stage1-sa".into(),
+                cost: 0.125,
+                evals: 4096,
+            },
+            SearchEvent::NewBest { round: 4, cost: 0.1 + 0.2, latency_cycles: 987_654_321 },
+            SearchEvent::SeedFinished {
+                seed: 2025,
+                cost: f64::MIN_POSITIVE,
+                evals: 7,
+                rejected: 2,
+            },
+            SearchEvent::BudgetExhausted { rounds: 5, evals: 123_456 },
+        ];
+        for ev in &events {
+            let text = json::to_string(&event_to_json(ev));
+            let back = event_from_json(&json::parse(&text).unwrap()).unwrap();
+            assert_eq!(*ev, back, "{text}");
+            // Deterministic: re-rendering the reconstruction is
+            // byte-identical (progress frames are diffable).
+            assert_eq!(json::to_string(&event_to_json(&back)), text);
+        }
+    }
+
+    #[test]
+    fn unknown_event_tag_is_an_error() {
+        let v = json::parse("{\"event\":\"warp_drive\"}").unwrap();
+        let e = event_from_json(&v).unwrap_err();
+        assert!(e.to_string().contains("unknown event tag `warp_drive`"), "{e}");
+        let missing = json::parse("{\"event\":\"new_best\",\"round\":1}").unwrap();
+        assert!(event_from_json(&missing).is_err(), "missing fields are errors");
     }
 
     #[test]

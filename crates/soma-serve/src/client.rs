@@ -1,0 +1,149 @@
+//! A small synchronous client for the serve protocol — what the
+//! `loadgen` benchmark, the CI smoke test and the e2e tests drive, and
+//! a reference implementation for anyone speaking the protocol from
+//! another language.
+
+use std::io::{self, BufRead, BufReader, Write};
+
+use soma_search::{SearchEvent, SearchOutcome};
+
+use crate::net::{Listen, Stream};
+use crate::protocol::{
+    parse_line, to_line, RejectReason, Request, Response, StatsSnapshot, SubmitRequest,
+};
+
+/// One connection to a serve daemon.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+/// How a submit ended, with everything observed along the way.
+#[derive(Debug)]
+pub struct Submission {
+    /// The request's ledger key (present iff the submit was accepted).
+    pub hash: Option<String>,
+    /// Whether the result came from the ledger without search work.
+    pub cached: bool,
+    /// Progress events streamed while the search ran.
+    pub progress: Vec<SearchEvent>,
+    /// The outcome (present iff a `result` frame arrived).
+    pub outcome: Option<SearchOutcome>,
+    /// The typed rejection, if the submit was refused.
+    pub rejection: Option<(RejectReason, String)>,
+}
+
+impl Submission {
+    /// Whether the submit produced an outcome.
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_some()
+    }
+}
+
+fn invalid(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect errors.
+    pub fn connect(listen: &Listen) -> io::Result<Self> {
+        let writer = Stream::connect(listen)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        writeln!(self.writer, "{}", to_line(&req.to_json()))?;
+        self.writer.flush()
+    }
+
+    /// Blocks for the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket read errors; a closed connection or unparseable frame
+    /// surfaces as [`io::ErrorKind::InvalidData`]/`UnexpectedEof`.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the stream"));
+        }
+        let v = parse_line(line.trim_end()).map_err(invalid)?;
+        Response::from_json(&v).map_err(invalid)
+    }
+
+    /// Pings the daemon, returning `(engine_version, protocol_version)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or an unexpected response frame.
+    pub fn ping(&mut self) -> io::Result<(String, u64)> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong { engine, protocol } => Ok((engine, protocol)),
+            other => Err(invalid(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or an unexpected response frame.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(s) => Ok(s),
+            other => Err(invalid(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Submits a scheduling request and drives it to its terminal frame
+    /// (`result` or `rejected`), collecting progress along the way.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, a frame for a different request id, or a
+    /// protocol-order violation.
+    pub fn submit(&mut self, req: SubmitRequest) -> io::Result<Submission> {
+        let want = req.id.clone();
+        self.send(&Request::Submit(req))?;
+        let mut sub = Submission {
+            hash: None,
+            cached: false,
+            progress: Vec::new(),
+            outcome: None,
+            rejection: None,
+        };
+        loop {
+            match self.recv()? {
+                Response::Accepted { id, hash, cached } if id == want => {
+                    sub.hash = Some(hash);
+                    sub.cached = cached;
+                }
+                Response::Progress { id, event } if id == want => sub.progress.push(event),
+                Response::Result { id, hash, cached, outcome } if id == want => {
+                    sub.hash = Some(hash);
+                    sub.cached = cached;
+                    sub.outcome = Some(*outcome);
+                    return Ok(sub);
+                }
+                Response::Rejected { id, reason, detail } if id == want => {
+                    sub.rejection = Some((reason, detail));
+                    return Ok(sub);
+                }
+                Response::Error { detail } => return Err(invalid(detail)),
+                other => return Err(invalid(format!("unexpected frame {other:?}"))),
+            }
+        }
+    }
+}

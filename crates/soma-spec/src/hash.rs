@@ -112,6 +112,17 @@ pub fn cell_hash(
     fnv1a(s.bytes())
 }
 
+/// The scenario id of an **inline** scheduling request: a network that
+/// arrives as spec text (`soma-network v1`) instead of a registry id,
+/// as the `soma-serve` protocol allows. Registry ids identify their
+/// network by construction; an inline id must do the same, so it embeds
+/// a content hash of the network text — two requests share a
+/// [`cell_hash`] (and therefore a ledger row) iff their network text,
+/// hardware, configuration and seeds are all identical.
+pub fn inline_scenario_id(network_text: &str, hw: &HardwareConfig) -> String {
+    format!("inline-{:016x}@{}", fnv1a(network_text.bytes()), hw.name)
+}
+
 /// [`cell_hash`] rendered as the 16-hex-digit ledger key.
 pub fn cell_hash_hex(
     cell_id: &str,
@@ -190,6 +201,17 @@ mod tests {
             let spec = parse(threads);
             assert_eq!(key(&spec), key(&base), "`{}` changed the cache key", threads.trim());
         }
+    }
+
+    #[test]
+    fn inline_ids_track_network_text_and_hardware() {
+        let (hw, _) = base();
+        let a = inline_scenario_id("soma-network v1\nname a\n...", &hw);
+        assert_eq!(a, inline_scenario_id("soma-network v1\nname a\n...", &hw), "deterministic");
+        assert_ne!(a, inline_scenario_id("soma-network v1\nname b\n...", &hw), "text perturbs");
+        let cloud = HardwareConfig::cloud();
+        assert_ne!(a, inline_scenario_id("soma-network v1\nname a\n...", &cloud), "hw perturbs");
+        assert!(a.starts_with("inline-") && a.ends_with("@edge-16tops"), "{a}");
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! The on-disk **run ledger**: an append-only JSONL file mapping cell
+//! content hashes to losslessly persisted [`SearchOutcome`]s.
+//!
+//! The ledger is the workspace's content-addressed result cache. One
+//! JSON line per completed cell, keyed by [`cell_hash`](crate::cell_hash)
+//! over everything that determines the outcome (scenario id, resolved
+//! hardware, full `SearchConfig`, seed portfolio, engine version); a
+//! partially written trailing line — the signature of a process killed
+//! mid-append — is detected, dropped and truncated away on load, so an
+//! interrupted producer always leaves a valid prefix.
+//!
+//! Two producers share this type: the `lab` experiment orchestrator
+//! (`soma-bench`), which writes rows in cell order for its
+//! byte-identical-resume guarantee, and the `soma-serve` daemon, which
+//! appends rows as requests complete and serves repeat requests straight
+//! from the index — the cache grows across restarts because every append
+//! is flushed before the result is reported.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde::json::{self, Value};
+use soma_search::record::{outcome_from_json, outcome_to_json, ENGINE_VERSION};
+use soma_search::{SearchConfig, SearchOutcome};
+
+use crate::hash::cell_hash_hex;
+use crate::ExperimentCell;
+
+/// Ledger line format version; bumping it invalidates old ledgers.
+pub const LEDGER_VERSION: u64 = 1;
+
+/// One persisted ledger row: the cell's identity plus its complete
+/// [`SearchOutcome`].
+#[derive(Debug, Clone)]
+pub struct LedgerRow {
+    /// The content hash this row is keyed by (16 hex digits).
+    pub hash: String,
+    /// Scenario id of the cell.
+    pub cell: String,
+    /// Canonical workload name.
+    pub workload: String,
+    /// Resolved platform name.
+    pub platform: String,
+    /// Batch size.
+    pub batch: u32,
+    /// The cell's search outcome, losslessly persisted.
+    pub outcome: SearchOutcome,
+}
+
+impl LedgerRow {
+    /// Builds a row for one experiment cell.
+    pub fn new(cell: &ExperimentCell, hash: &str, outcome: SearchOutcome) -> Self {
+        Self {
+            hash: hash.to_string(),
+            cell: cell.id.clone(),
+            workload: cell.workload.clone(),
+            platform: cell.platform.clone(),
+            batch: cell.batch,
+            outcome,
+        }
+    }
+
+    /// Renders the row as its single-line JSON ledger entry (no trailing
+    /// newline). Deterministic: equal rows render byte-identically.
+    pub fn to_line(&self) -> String {
+        let mut o = Value::obj();
+        o.push("v", LEDGER_VERSION.into());
+        o.push("hash", self.hash.as_str().into());
+        o.push("cell", self.cell.as_str().into());
+        o.push("workload", self.workload.as_str().into());
+        o.push("platform", self.platform.as_str().into());
+        o.push("batch", self.batch.into());
+        o.push("outcome", outcome_to_json(&self.outcome));
+        json::to_string(&o)
+    }
+
+    /// Parses one ledger line back into a row.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first schema violation
+    /// (unsupported version, missing field, malformed outcome).
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
+        if version != LEDGER_VERSION {
+            return Err(format!("unsupported ledger version {version}"));
+        }
+        let text = |key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("missing `{key}`"))?
+                .to_string())
+        };
+        let batch = v.get("batch").and_then(Value::as_u64).ok_or("missing `batch`")?;
+        let outcome = outcome_from_json(v.get("outcome").ok_or("missing `outcome`")?)
+            .map_err(|e| e.to_string())?;
+        Ok(Self {
+            hash: text("hash")?,
+            cell: text("cell")?,
+            workload: text("workload")?,
+            platform: text("platform")?,
+            batch: u32::try_from(batch).map_err(|_| "batch exceeds u32".to_string())?,
+            outcome,
+        })
+    }
+}
+
+/// The on-disk run ledger: an append-only JSONL file mapping cell
+/// content hashes to persisted [`SearchOutcome`]s.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    rows: Vec<LedgerRow>,
+    index: HashMap<String, usize>,
+}
+
+impl Ledger {
+    /// Loads (or creates the notion of) the ledger at `path`. A missing
+    /// file is an empty ledger. A partially written trailing line — the
+    /// signature of a run killed mid-append — is dropped and truncated
+    /// away so subsequent appends continue from the last complete row.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a corrupt line *before* the last (which indicates
+    /// real damage rather than an interrupted append).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut ledger = Self { path: path.to_path_buf(), rows: Vec::new(), index: HashMap::new() };
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ledger),
+            Err(e) => return Err(e),
+        };
+
+        let mut keep_bytes = 0usize;
+        let mut offset = 0usize;
+        let lines: Vec<&str> = text.split('\n').collect();
+        for (i, line) in lines.iter().enumerate() {
+            let is_last = i + 1 == lines.len();
+            if line.is_empty() {
+                offset += 1;
+                continue;
+            }
+            match LedgerRow::from_line(line) {
+                Ok(row) => {
+                    let complete = !is_last; // `split` leaves no trailing '\n' on the last piece
+                    if !complete {
+                        break; // no newline after it: treat as torn write
+                    }
+                    ledger.index.insert(row.hash.clone(), ledger.rows.len());
+                    ledger.rows.push(row);
+                    offset += line.len() + 1;
+                    keep_bytes = offset;
+                }
+                Err(msg) if is_last => {
+                    // Torn trailing line: drop it.
+                    let _ = msg;
+                    break;
+                }
+                Err(msg) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: corrupt ledger line {}: {msg}", path.display(), i + 1),
+                    ));
+                }
+            }
+        }
+        if keep_bytes < text.len() {
+            // Truncate the torn tail so appends produce a clean file.
+            let f = fs::OpenOptions::new().write(true).open(path)?;
+            f.set_len(keep_bytes as u64)?;
+        }
+        Ok(ledger)
+    }
+
+    /// The ledger's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All rows, in file order.
+    pub fn rows(&self) -> &[LedgerRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the ledger holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a row by its cell content hash.
+    pub fn lookup(&self, hash: &str) -> Option<&LedgerRow> {
+        self.index.get(hash).map(|&i| &self.rows[i])
+    }
+
+    /// Appends one row, creating parent directories and the file on
+    /// first use, and flushes before returning — once `append` returns,
+    /// the row survives a kill.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating directories or writing the line.
+    pub fn append(&mut self, row: LedgerRow) -> io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        writeln!(f, "{}", row.to_line())?;
+        f.flush()?;
+        self.index.insert(row.hash.clone(), self.rows.len());
+        self.rows.push(row);
+        Ok(())
+    }
+}
+
+/// The ledger key of one experiment cell under a spec's configuration.
+pub fn cell_key(cell: &ExperimentCell, config: &SearchConfig, seeds: &[u64]) -> String {
+    cell_hash_hex(&cell.id, &cell.hw, config, seeds, ENGINE_VERSION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let dir = std::env::temp_dir().join("soma-ledger-unit");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("{}-corrupt.jsonl", std::process::id()));
+        fs::write(&path, "garbage\n{\"v\":1}\n").unwrap();
+        let err = Ledger::load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_ledger() {
+        let path = std::env::temp_dir().join("soma-ledger-unit-definitely-missing.jsonl");
+        let ledger = Ledger::load(&path).unwrap();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.len(), 0);
+        assert!(ledger.lookup("0000000000000000").is_none());
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let err = LedgerRow::from_line("{\"v\":99}").unwrap_err();
+        assert!(err.contains("unsupported ledger version 99"), "{err}");
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`spec`] — declarative scenario specs: parseable network /
 //!   hardware / experiment descriptions and the scenario registry
 //!   (`<workload>@<preset>/b<batch>` ids).
+//! * [`serve`] — scheduling-as-a-service: the line-delimited JSON
+//!   protocol, admission control, the daemon with its ledger-backed
+//!   result cache, and a reference client.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@ pub use soma_arch as arch;
 pub use soma_core as core;
 pub use soma_model as model;
 pub use soma_search as search;
+pub use soma_serve as serve;
 pub use soma_sim as sim;
 pub use soma_spec as spec;
 
