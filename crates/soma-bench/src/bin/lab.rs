@@ -19,7 +19,9 @@
 //!
 //! `--require-hits` exits with status 3 unless every cell was a ledger
 //! hit — the CI replay gate (`lab-smoke` runs the same spec twice and
-//! requires the second pass to be 100 % cached).
+//! requires the second pass to be 100 % cached). A cell that panics is
+//! isolated (the campaign completes without it) and reported with exit
+//! status 4: partial failure, rerun to retry exactly the failed cells.
 //!
 //! The spec file owns the entire run configuration, so **every**
 //! `SOMA_*` knob — including `SOMA_WORKLOAD`; a partial run would poison
@@ -128,6 +130,7 @@ fn main() -> ExitCode {
             "[lab] finished {cell}: best cost {cost:.3e}, latency {latency_cycles} cycles, \
              {evals} evals"
         ),
+        LabEvent::Failed { cell, error, .. } => eprintln!("[lab] FAILED   {cell}: {error}"),
     });
     let summary = match summary {
         Ok(s) => s,
@@ -139,11 +142,22 @@ fn main() -> ExitCode {
 
     println!("{CSV_HEADER}");
     print!("{}", csv_rows(&summary.rows));
+    if !summary.health.is_clean() || summary.health.duplicates > 0 {
+        eprintln!(
+            "[lab] ledger repair: {} row(s) quarantined{}, {} duplicate hash(es) \
+             (last write wins); see {}",
+            summary.health.quarantined,
+            if summary.health.truncated { ", torn tail dropped" } else { "" },
+            summary.health.duplicates,
+            soma_spec::quarantine_path(&ledger).display()
+        );
+    }
     eprintln!(
-        "[lab] {}: {} hit(s), {} searched, ledger {}",
+        "[lab] {}: {} hit(s), {} searched, {} failed, ledger {}",
         spec.name,
         summary.hits,
         summary.misses,
+        summary.failed,
         ledger.display()
     );
     if summary.stopped {
@@ -160,6 +174,14 @@ fn main() -> ExitCode {
             summary.misses
         );
         return ExitCode::from(3);
+    }
+    if summary.failed > 0 {
+        eprintln!(
+            "lab: {} cell(s) failed and were skipped; rerun the same spec to retry \
+             exactly those cells",
+            summary.failed
+        );
+        return ExitCode::from(4);
     }
     ExitCode::SUCCESS
 }

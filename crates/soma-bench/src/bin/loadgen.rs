@@ -25,16 +25,16 @@
 //! section.
 
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use soma_bench::loadgen::{storm, StormConfig};
-use soma_serve::{start, Client, Listen, ServerConfig, SubmitRequest, Target};
+use soma_serve::{start, Listen, RetryPolicy, ServerConfig, SubmitRequest, Target};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--connect <unix:PATH|tcp:HOST:PORT>] [--scenario <id>] \
          [--requests N] [--clients N] [--effort F] [--seed N] \
-         [--once [--expect-cached] [--retry-secs N]] [--version]"
+         [--once [--expect-cached] [--retry-secs N]] [--stats] [--version]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +49,7 @@ struct Flags {
     once: bool,
     expect_cached: bool,
     retry_secs: u64,
+    stats: bool,
 }
 
 fn parse_flags() -> Result<Flags, ExitCode> {
@@ -62,6 +63,7 @@ fn parse_flags() -> Result<Flags, ExitCode> {
         once: false,
         expect_cached: false,
         retry_secs: 10,
+        stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,32 +102,32 @@ fn parse_flags() -> Result<Flags, ExitCode> {
             },
             "--once" => flags.once = true,
             "--expect-cached" => flags.expect_cached = true,
+            "--stats" => flags.stats = true,
             _ => return Err(usage()),
         }
     }
     Ok(flags)
 }
 
-/// One-shot CI client: connect (with retries while the daemon boots),
-/// submit, and optionally require the ledger-cached answer.
+/// The shared retry schedule for the CI-client modes: attempts sized so
+/// the worst-case backoff sum roughly matches `--retry-secs`, jitter
+/// seeded from `--seed` so a smoke run replays bit-identically.
+fn retry_policy(flags: &Flags) -> RetryPolicy {
+    RetryPolicy {
+        attempts: u32::try_from(flags.retry_secs).unwrap_or(u32::MAX).max(1).saturating_add(2),
+        base_delay: Duration::from_millis(200),
+        max_delay: Duration::from_secs(1),
+        jitter_seed: flags.seed,
+    }
+}
+
+/// One-shot CI client: submit through the shared [`RetryPolicy`] (which
+/// rides out daemon boot, restarts and queue-full pushback), and
+/// optionally require the ledger-cached answer.
 fn once(flags: &Flags) -> ExitCode {
     let Some(listen) = &flags.connect else {
         eprintln!("loadgen: --once needs --connect");
         return ExitCode::from(2);
-    };
-    let deadline = Instant::now() + Duration::from_secs(flags.retry_secs);
-    let mut client = loop {
-        match Client::connect(listen) {
-            Ok(c) => break c,
-            Err(e) if Instant::now() < deadline => {
-                eprintln!("loadgen: waiting for {listen}: {e}");
-                std::thread::sleep(Duration::from_millis(200));
-            }
-            Err(e) => {
-                eprintln!("loadgen: cannot connect to {listen}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
     };
     let req = SubmitRequest {
         id: "once".into(),
@@ -133,8 +135,9 @@ fn once(flags: &Flags) -> ExitCode {
         seeds: vec![flags.seed],
         effort: Some(flags.effort),
         progress: false,
+        deadline_ms: None,
     };
-    let sub = match client.submit(req) {
+    let sub = match retry_policy(flags).submit(listen, &req) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("loadgen: submit failed: {e}");
@@ -158,6 +161,46 @@ fn once(flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints the daemon's counters as one JSON line on stdout — the CI
+/// chaos gate asserts the failure counters (`panics`, `cancelled`,
+/// `quarantined`) from this output.
+fn stats(flags: &Flags) -> ExitCode {
+    let Some(listen) = &flags.connect else {
+        eprintln!("loadgen: --stats needs --connect");
+        return ExitCode::from(2);
+    };
+    let mut client = match retry_policy(flags).connect(listen) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: cannot connect to {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.stats() {
+        Ok(s) => {
+            // Compact, no spaces: the same shape as the wire frame, so
+            // shell gates can grep for `"quarantined":1` verbatim.
+            println!(
+                "{{\"inflight\":{},\"served\":{},\"cache_hits\":{},\"rejected\":{},\
+                 \"ledger_rows\":{},\"cancelled\":{},\"panics\":{},\"quarantined\":{}}}",
+                s.inflight,
+                s.served,
+                s.cache_hits,
+                s.rejected,
+                s.ledger_rows,
+                s.cancelled,
+                s.panics,
+                s.quarantined
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen: stats failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--version") {
         println!("{}", soma_bench::version_line("loadgen"));
@@ -167,6 +210,9 @@ fn main() -> ExitCode {
         Ok(f) => f,
         Err(code) => return code,
     };
+    if flags.stats {
+        return stats(&flags);
+    }
     if flags.once {
         return once(&flags);
     }

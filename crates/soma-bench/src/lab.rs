@@ -27,12 +27,15 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use soma_search::{Scheduler, SearchOutcome};
+use soma_spec::fault::{self, Fault, FaultPlan};
 use soma_spec::ExperimentSpec;
 
 use crate::ExperimentRow;
@@ -84,6 +87,17 @@ pub enum LabEvent {
         /// Completed schedule evaluations of the cell's portfolio.
         evals: u64,
     },
+    /// A cell's search panicked. The panic is isolated: the campaign
+    /// keeps running, the cell gets no ledger row (a rerun retries it),
+    /// and the run exits with a partial-failure code.
+    Failed {
+        /// The cell's scenario id.
+        cell: String,
+        /// The cell's ledger key (never written by this run).
+        hash: String,
+        /// The panic message, best-effort.
+        error: String,
+    },
 }
 
 /// What [`run_lab`] reports back.
@@ -97,10 +111,17 @@ pub struct LabSummary {
     pub hits: usize,
     /// Cells that ran a search (and were appended to the ledger).
     pub misses: usize,
+    /// Cells whose search panicked ([`LabEvent::Failed`]): isolated,
+    /// ledger-skipped, retried by the next run of the same spec.
+    pub failed: usize,
     /// Whether a [`run_lab_until`] stop flag cut the run short. The
     /// ledger still holds a valid in-cell-order prefix; rerunning the
     /// same spec resumes from it.
     pub stopped: bool,
+    /// What loading the ledger found and repaired (quarantined rows,
+    /// torn tail, shadowed duplicates) — surfaced so the binary can
+    /// warn.
+    pub health: soma_spec::LedgerHealth,
 }
 
 /// In-order ledger flusher: completed cells park in `ready` until every
@@ -111,29 +132,51 @@ pub struct LabSummary {
 /// emitted the moment its row lands in the ledger — live progress, in
 /// flush (cell) order. Worker threads report through the shared mutex
 /// around this state, which is why the observer must be `Send`.
+/// How one miss ended: a row to append, or a panic to report.
+enum CellDone {
+    /// The search completed; append the row, then emit the event.
+    Row(Box<LedgerRow>, LabEvent),
+    /// The search panicked; emit [`LabEvent::Failed`] and advance
+    /// without writing — later cells still flush, the failed cell's
+    /// slot in the ledger simply stays empty for the next run to fill.
+    Failed(LabEvent),
+}
+
 struct InOrderFlush<'l, 'o> {
     ledger: &'l mut Ledger,
     observer: &'o mut (dyn FnMut(&LabEvent) + Send),
-    /// Position into the miss list of the next row to write.
+    /// Position into the miss list of the next cell to resolve.
     next: usize,
-    ready: BTreeMap<usize, (LedgerRow, LabEvent)>,
+    ready: BTreeMap<usize, CellDone>,
+    /// Rows actually appended.
+    appended: usize,
+    /// Cells that panicked.
+    failed: usize,
     err: Option<io::Error>,
 }
 
 impl InOrderFlush<'_, '_> {
-    fn complete(&mut self, miss_pos: usize, row: LedgerRow, done: LabEvent) {
-        self.ready.insert(miss_pos, (row, done));
-        while let Some((row, done)) = self.ready.remove(&self.next) {
+    fn complete(&mut self, miss_pos: usize, done: CellDone) {
+        self.ready.insert(miss_pos, done);
+        while let Some(done) = self.ready.remove(&self.next) {
             self.next += 1;
-            // `Finished` asserts "this row landed in the ledger" — once
-            // an append has failed, later rows are neither written nor
-            // reported finished (run_lab surfaces the error instead).
-            if self.err.is_some() {
-                continue;
-            }
-            match self.ledger.append(row) {
-                Ok(()) => (self.observer)(&done),
-                Err(e) => self.err = Some(e),
+            match done {
+                CellDone::Failed(ev) => {
+                    self.failed += 1;
+                    (self.observer)(&ev);
+                }
+                // `Finished` asserts "this row landed in the ledger" —
+                // once an append has failed, later rows are neither
+                // written nor reported finished (run_lab surfaces the
+                // error instead).
+                CellDone::Row(_, _) if self.err.is_some() => {}
+                CellDone::Row(row, ev) => match self.ledger.append(*row) {
+                    Ok(()) => {
+                        self.appended += 1;
+                        (self.observer)(&ev);
+                    }
+                    Err(e) => self.err = Some(e),
+                },
             }
         }
     }
@@ -184,11 +227,51 @@ pub fn run_lab_until(
     spec: &ExperimentSpec,
     ledger_path: &Path,
     stop: &AtomicBool,
+    observer: impl FnMut(&LabEvent) + Send,
+) -> io::Result<LabSummary> {
+    run_lab_chaos(spec, ledger_path, stop, None, observer)
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// [`run_lab_until`] with a deterministic [`FaultPlan`] threaded behind
+/// the ledger writer ([`fault::site::LEDGER_APPEND`]) and the cell
+/// runner ([`fault::site::LAB_CELL`]) — the chaos-suite entry point.
+/// Production callers pass `None` (what [`run_lab`] and
+/// [`run_lab_until`] do).
+///
+/// A cell whose search panics — injected or real — is isolated by
+/// `catch_unwind`: it becomes a [`LabEvent::Failed`] and a skipped
+/// ledger slot, every other cell proceeds, and
+/// [`LabSummary::failed`] counts it so the `lab` binary can exit with
+/// a partial-failure code. A rerun of the same spec retries exactly the
+/// failed cells (their keys still miss the ledger).
+///
+/// # Errors
+///
+/// I/O errors loading or appending the ledger. Corrupt ledger rows are
+/// *not* errors: load quarantines them (see [`Ledger::load`]).
+pub fn run_lab_chaos(
+    spec: &ExperimentSpec,
+    ledger_path: &Path,
+    stop: &AtomicBool,
+    faults: Option<Arc<FaultPlan>>,
     mut observer: impl FnMut(&LabEvent) + Send,
 ) -> io::Result<LabSummary> {
     let cells = spec.cells();
     let keys: Vec<String> = cells.iter().map(|c| cell_key(c, &spec.config, &spec.seeds)).collect();
     let mut ledger = Ledger::load(ledger_path)?;
+    let health = ledger.health();
+    if let Some(plan) = &faults {
+        ledger.inject_faults(Arc::clone(plan));
+    }
 
     for (cell, key) in cells.iter().zip(&keys) {
         observer(&LabEvent::Queued { cell: cell.id.clone(), hash: key.clone() });
@@ -228,6 +311,8 @@ pub fn run_lab_until(
         observer: &mut observer,
         next: 0,
         ready: BTreeMap::new(),
+        appended: 0,
+        failed: 0,
         err: None,
     });
     let work: Vec<(usize, usize)> = misses.iter().copied().enumerate().collect();
@@ -248,11 +333,38 @@ pub fn run_lab_until(
                 let mut state = flush.lock().expect("ledger flusher poisoned");
                 (state.observer)(&LabEvent::Started { cell: cell.id.clone() });
             }
-            let outcome = Scheduler::new(&cell.net, &cell.hw)
-                .config(spec.config.clone())
-                .seeds(spec.seeds.iter().copied())
-                .parallelism(spec.parallelism.nested())
-                .run();
+            // Panic isolation: one poisoned cell (injected or real)
+            // becomes a typed `Failed` event instead of taking the
+            // whole campaign down with it.
+            let searched = catch_unwind(AssertUnwindSafe(|| {
+                match faults.as_ref().and_then(|p| p.next(fault::site::LAB_CELL)) {
+                    Some(Fault::Panic) => panic!("injected fault: cell panic"),
+                    Some(Fault::Slow { millis }) => {
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    _ => {}
+                }
+                Scheduler::new(&cell.net, &cell.hw)
+                    .config(spec.config.clone())
+                    .seeds(spec.seeds.iter().copied())
+                    .parallelism(spec.parallelism.nested())
+                    .run()
+            }));
+            let outcome = match searched {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    let ev = LabEvent::Failed {
+                        cell: cell.id.clone(),
+                        hash: key.clone(),
+                        error: panic_message(payload.as_ref()),
+                    };
+                    flush
+                        .lock()
+                        .expect("ledger flusher poisoned")
+                        .complete(miss_pos, CellDone::Failed(ev));
+                    return None;
+                }
+            };
             let done = LabEvent::Finished {
                 cell: cell.id.clone(),
                 hash: key.clone(),
@@ -260,8 +372,11 @@ pub fn run_lab_until(
                 latency_cycles: outcome.best.report.latency_cycles,
                 evals: outcome.evals,
             };
-            let row = LedgerRow::new(cell, key, outcome.clone());
-            flush.lock().expect("ledger flusher poisoned").complete(miss_pos, row, done);
+            let row = Box::new(LedgerRow::new(cell, key, outcome.clone()));
+            flush
+                .lock()
+                .expect("ledger flusher poisoned")
+                .complete(miss_pos, CellDone::Row(row, done));
             Some((miss_pos, cell_idx, outcome))
         });
 
@@ -269,10 +384,12 @@ pub fn run_lab_until(
     if let Some(e) = state.err {
         return Err(e);
     }
-    // A shortfall in flushed misses can only come from a stop request
-    // (every started search completes and flushes); the converse need
-    // not hold — a flag raised after the last cell changes nothing.
+    // A shortfall in resolved misses can only come from a stop request
+    // (every started search completes, flushes or fails); the converse
+    // need not hold — a flag raised after the last cell changes nothing.
     let flushed = state.next;
+    let failed = state.failed;
+    let appended = state.appended;
     let stopped = flushed < misses.len();
 
     for item in finished.into_iter().flatten() {
@@ -293,13 +410,13 @@ pub fn run_lab_until(
         .zip(outcomes)
         .filter_map(|(cell, outcome)| {
             debug_assert!(
-                outcome.is_some() || stopped,
-                "a completed run resolves every cell (hit or flushed miss)"
+                outcome.is_some() || stopped || failed > 0,
+                "a completed run resolves every cell (hit, flushed miss, or failure)"
             );
             outcome.map(|outcome| ExperimentRow { cell, outcome })
         })
         .collect();
-    Ok(LabSummary { rows, hits, misses: flushed, stopped })
+    Ok(LabSummary { rows, hits, misses: appended, failed, stopped, health })
 }
 
 #[cfg(test)]
@@ -376,11 +493,61 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_interior_line_is_an_error() {
+    fn corrupt_interior_lines_are_quarantined_and_the_run_proceeds() {
+        let spec = read_experiment(SPEC).unwrap();
         let path = tmp("corrupt.jsonl");
+        let qpath = soma_spec::quarantine_path(&path);
+        let _ = fs::remove_file(&qpath);
         fs::write(&path, "garbage\n{\"v\":1}\n").unwrap();
-        let err = Ledger::load(&path).unwrap_err();
-        assert!(err.to_string().contains("line 1"), "{err}");
+
+        // The damaged rows move to the sidecar instead of aborting;
+        // the lab just sees an empty (clean) ledger and runs cold.
+        let summary = run_lab(&spec, &path, |_| {}).unwrap();
+        assert_eq!((summary.hits, summary.misses, summary.failed), (0, 1, 0));
+        assert_eq!(fs::read_to_string(&qpath).unwrap(), "garbage\n{\"v\":1}\n");
+        assert_eq!(Ledger::load(&path).unwrap().len(), 1);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&qpath);
+    }
+
+    #[test]
+    fn a_panicking_cell_is_isolated_and_retried_on_rerun() {
+        // Three cells, sequential; the 2nd panics via a scripted fault.
+        let text = "soma-experiment v1\nname chaos\nscenario fig2@edge/b1\n\
+                    scenario fig4@edge/b1\nscenario fig2@edge/b4\nseeds 7\n\
+                    effort 0.01\nthreads seq\nend\n";
+        let spec = read_experiment(text).unwrap();
+        let path = tmp("panic.jsonl");
+        let _ = fs::remove_file(&path);
+
+        let plan = Arc::new(FaultPlan::scripted([(fault::site::LAB_CELL, 1, Fault::Panic)]));
+        let mut events = Vec::new();
+        let summary = run_lab_chaos(&spec, &path, &AtomicBool::new(false), Some(plan), |ev| {
+            events.push(ev.clone());
+        })
+        .unwrap();
+
+        // The campaign completed: cells 1 and 3 landed, cell 2 failed.
+        assert!(!summary.stopped, "a panic is not a stop");
+        assert_eq!((summary.hits, summary.misses, summary.failed), (0, 2, 1));
+        assert_eq!(summary.rows.len(), 2);
+        let failed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                LabEvent::Failed { cell, error, .. } => Some((cell.clone(), error.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, "fig4@edge/b1");
+        assert!(failed[0].1.contains("injected fault"), "{}", failed[0].1);
+        assert_eq!(Ledger::load(&path).unwrap().len(), 2, "failed cell left no row");
+
+        // A faultless rerun retries exactly the failed cell and
+        // converges to the complete campaign.
+        let rerun = run_lab(&spec, &path, |_| {}).unwrap();
+        assert_eq!((rerun.hits, rerun.misses, rerun.failed), (2, 1, 0));
+        assert_eq!(Ledger::load(&path).unwrap().len(), 3);
     }
 
     #[test]

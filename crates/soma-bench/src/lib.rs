@@ -32,7 +32,7 @@ pub mod lab;
 pub mod loadgen;
 
 pub use experiment::{csv_rows, run_cells, run_experiment, ExperimentRow, CSV_HEADER};
-pub use lab::{run_lab, run_lab_until, LabEvent, LabSummary, Ledger, LedgerRow};
+pub use lab::{run_lab, run_lab_chaos, run_lab_until, LabEvent, LabSummary, Ledger, LedgerRow};
 pub use loadgen::{storm, StormConfig, StormReport};
 
 /// One `--version` line shared by every binary in this crate: binary

@@ -106,6 +106,10 @@ impl StormReport {
     }
 }
 
+fn client_io(e: soma_serve::ClientError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
 /// Runs one storm to completion and merges every connection's tallies.
 ///
 /// # Errors
@@ -122,7 +126,7 @@ pub fn storm(cfg: &StormConfig) -> io::Result<StormReport> {
             let cfg = cfg.clone();
             let next = Arc::clone(&next);
             std::thread::spawn(move || -> io::Result<(usize, usize, usize, Vec<f64>)> {
-                let mut client = Client::connect(&cfg.listen)?;
+                let mut client = Client::connect(&cfg.listen).map_err(client_io)?;
                 let (mut completed, mut cached, mut rejected) = (0usize, 0usize, 0usize);
                 let mut latencies = Vec::new();
                 loop {
@@ -138,9 +142,10 @@ pub fn storm(cfg: &StormConfig) -> io::Result<StormReport> {
                         seeds: vec![seed],
                         effort: Some(cfg.effort),
                         progress: cfg.progress,
+                        deadline_ms: None,
                     };
                     let t = Instant::now();
-                    let sub = client.submit(req)?;
+                    let sub = client.submit(req).map_err(client_io)?;
                     latencies.push(t.elapsed().as_secs_f64() * 1e3);
                     if sub.succeeded() {
                         completed += 1;

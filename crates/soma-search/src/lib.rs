@@ -78,7 +78,7 @@ pub use objective::{CostWeights, Evaluated, Objective};
 pub use parallelism::Parallelism;
 pub use record::{outcome_from_str, outcome_to_string, RecordError, ENGINE_VERSION};
 pub use sa::{anneal, anneal_inplace, AnnealState, SaResult, SaSchedule};
-pub use session::{Scheduler, SearchEvent, SearchSession, StepOutcome};
+pub use session::{Cancelled, Scheduler, SearchEvent, SearchSession, StepOutcome};
 pub use stage::{RoundCtx, SearchStage, StageArtifact, StageSpec};
 pub use sweep::{dse, envelope, grid, DsePoint, GridPoint};
 

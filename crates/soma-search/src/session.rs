@@ -92,7 +92,26 @@ pub enum StepOutcome {
     Finished,
 }
 
+/// The typed "search was cancelled" error returned by
+/// [`SearchSession::run_cancellable`] /
+/// [`Scheduler::run_cancellable`] when the registered
+/// [`cancel_when`](Scheduler::cancel_when) probe fired. Deliberately
+/// carries nothing: a cancelled search has no partial result worth
+/// keeping (serve discards the work; the cache stays coherent because
+/// nothing was persisted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("search cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 type Observer<'o> = Box<dyn FnMut(&SearchEvent) + 'o>;
+type CancelProbe<'a> = &'a (dyn Fn() -> bool + Sync);
 
 /// Builder for a search session over one network + hardware pair.
 ///
@@ -117,6 +136,7 @@ pub struct Scheduler<'a, 'o> {
     seeds: Vec<u64>,
     par: Parallelism,
     observer: Option<Observer<'o>>,
+    cancel: Option<CancelProbe<'a>>,
 }
 
 impl<'a, 'o> Scheduler<'a, 'o> {
@@ -132,6 +152,7 @@ impl<'a, 'o> Scheduler<'a, 'o> {
             seeds: Vec::new(),
             par: Parallelism::Auto,
             observer: None,
+            cancel: None,
         }
     }
 
@@ -180,6 +201,21 @@ impl<'a, 'o> Scheduler<'a, 'o> {
         self
     }
 
+    /// Registers a cooperative-cancel probe, polled by
+    /// [`SearchSession::step`] at round start and between stages. When
+    /// it first returns `true` the session stops doing work and
+    /// [`run_cancellable`](Self::run_cancellable) returns
+    /// [`Err(Cancelled)`](Cancelled). In portfolio mode every seed's
+    /// session shares the probe, so one flag aborts the whole race.
+    ///
+    /// A probe that never fires is invisible: the search makes exactly
+    /// the same decisions with or without it, so outcomes (and cell
+    /// hashes) of uncancelled runs are unchanged.
+    pub fn cancel_when(mut self, probe: &'a (dyn Fn() -> bool + Sync)) -> Self {
+        self.cancel = Some(probe);
+        self
+    }
+
     /// Builds the stepping session for a single seed (the first of
     /// [`seeds`](Self::seeds) if given, else `cfg.seed`). Portfolio mode
     /// is only reachable through [`run`](Self::run) — a session is one
@@ -189,14 +225,16 @@ impl<'a, 'o> Scheduler<'a, 'o> {
         if let Some(&first) = self.seeds.first() {
             cfg.seed = first;
         }
-        SearchSession::with_specs(
+        let mut session = SearchSession::with_specs(
             self.net,
             self.hw,
             cfg,
             &self.stages,
             self.allocator_loop,
             self.observer,
-        )
+        );
+        session.cancel = self.cancel;
+        session
     }
 
     /// Drives the search to completion. With two or more
@@ -211,30 +249,51 @@ impl<'a, 'o> Scheduler<'a, 'o> {
     /// observer sees them replayed in seed-list order once the portfolio
     /// completes, each batch followed by that seed's
     /// [`SearchEvent::SeedFinished`] — observers need not be thread-safe.
-    pub fn run(mut self) -> SearchOutcome {
+    pub fn run(self) -> SearchOutcome {
+        self.run_cancellable()
+            .expect("search cancelled: use run_cancellable() with a cancel_when probe")
+    }
+
+    /// Like [`run`](Self::run), but honours the
+    /// [`cancel_when`](Self::cancel_when) probe: once it fires, every
+    /// seed's session stops at its next poll point and the whole call
+    /// returns [`Err(Cancelled)`](Cancelled) with all partial work
+    /// discarded (no events are replayed either — a cancelled search
+    /// reports nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] if the probe fired before the portfolio completed.
+    pub fn run_cancellable(mut self) -> Result<SearchOutcome, Cancelled> {
         if self.seeds.len() <= 1 {
-            return self.build().run();
+            return self.build().run_cancellable();
         }
         let seeds = std::mem::take(&mut self.seeds);
         let mut observer = self.observer.take();
         let (net, hw, cfg) = (self.net, self.hw, self.cfg);
         let (stages, allocator_loop) = (self.stages, self.allocator_loop);
+        let cancel = self.cancel;
         let record_events = observer.is_some();
 
-        let outcomes: Vec<(u64, SearchOutcome, Vec<SearchEvent>)> =
+        let outcomes: Vec<(u64, Result<SearchOutcome, Cancelled>, Vec<SearchEvent>)> =
             self.par.map_collect(seeds, |seed| {
                 let cfg = SearchConfig { seed, ..cfg.clone() };
                 let mut events: Vec<SearchEvent> = Vec::new();
                 let recorder: Option<Observer<'_>> = record_events
                     .then(|| -> Observer<'_> { Box::new(|ev| events.push(ev.clone())) });
-                let session =
+                let mut session =
                     SearchSession::with_specs(net, hw, cfg, &stages, allocator_loop, recorder);
-                let out = session.run();
+                session.cancel = cancel;
+                let out = session.run_cancellable();
                 (seed, out, events)
             });
 
+        if outcomes.iter().any(|(_, out, _)| out.is_err()) {
+            return Err(Cancelled);
+        }
         if let Some(f) = observer.as_mut() {
             for (seed, out, events) in &outcomes {
+                let out = out.as_ref().expect("checked above");
                 for ev in events {
                     f(ev);
                 }
@@ -246,11 +305,11 @@ impl<'a, 'o> Scheduler<'a, 'o> {
                 });
             }
         }
-        outcomes
+        Ok(outcomes
             .into_iter()
-            .map(|(_, out, _)| out)
+            .map(|(_, out, _)| out.expect("checked above"))
             .reduce(|best, cand| if cand.best.cost < best.best.cost { cand } else { best })
-            .expect("portfolio mode requires at least two seeds")
+            .expect("portfolio mode requires at least two seeds"))
     }
 }
 
@@ -279,6 +338,8 @@ pub struct SearchSession<'a, 'o> {
     /// Best `(first-stage snapshot, final scheme)` so far.
     best: Option<(Evaluated, Evaluated)>,
     finished: bool,
+    cancel: Option<CancelProbe<'a>>,
+    cancelled: bool,
 }
 
 impl<'a, 'o> SearchSession<'a, 'o> {
@@ -305,8 +366,20 @@ impl<'a, 'o> SearchSession<'a, 'o> {
             consecutive_fails: 0,
             best: None,
             finished: false,
+            cancel: None,
+            cancelled: false,
             cfg,
         }
+    }
+
+    /// Polls the cancel probe; once it fires the session is finished
+    /// for good and never touches the objective again.
+    fn poll_cancel(&mut self) -> bool {
+        if !self.cancelled && self.cancel.is_some_and(|probe| probe()) {
+            self.cancelled = true;
+            self.finished = true;
+        }
+        self.cancelled
     }
 
     fn emit(&mut self, ev: SearchEvent) {
@@ -318,15 +391,18 @@ impl<'a, 'o> SearchSession<'a, 'o> {
     /// Runs one Buffer Allocator round. Returns [`StepOutcome::Finished`]
     /// once the session is over (further calls are no-ops).
     pub fn step(&mut self) -> StepOutcome {
-        if self.finished {
+        if self.finished || self.poll_cancel() {
             return StepOutcome::Finished;
         }
         let round = self.rounds_done;
         self.emit(SearchEvent::RoundStarted { round, stage1_budget: self.stage1_limit });
 
-        // Run the stage pipeline. The observer and the round context
-        // borrow disjoint fields, so events can flow mid-round.
-        let (first, last) = {
+        // Run the stage pipeline. The observer, the cancel probe and
+        // the round context borrow disjoint fields, so events can flow
+        // (and cancellation can land) mid-round.
+        let cancel = self.cancel;
+        let mut cancelled_mid_round = false;
+        let pipeline = {
             let observer = &mut self.observer;
             let mut ctx = RoundCtx {
                 obj: &mut self.obj,
@@ -351,10 +427,26 @@ impl<'a, 'o> SearchSession<'a, 'o> {
                     first = Some(art.evaluated());
                 }
                 ctx.current = Some(art);
+                if cancel.is_some_and(|probe| probe()) {
+                    cancelled_mid_round = true;
+                    break;
+                }
             }
-            let last =
-                ctx.current.take().expect("pipeline has at least one stage").into_evaluated();
-            (first.expect("pipeline has at least one stage"), last)
+            if cancelled_mid_round {
+                None
+            } else {
+                let last =
+                    ctx.current.take().expect("pipeline has at least one stage").into_evaluated();
+                Some((first.expect("pipeline has at least one stage"), last))
+            }
+        };
+        let Some((first, last)) = pipeline else {
+            // The round is abandoned wholesale: nothing it computed is
+            // kept, so a cancelled session can never leak a partial
+            // result into `best`.
+            self.cancelled = true;
+            self.finished = true;
+            return StepOutcome::Finished;
         };
         self.rounds_done += 1;
         if round == 0 {
@@ -402,6 +494,14 @@ impl<'a, 'o> SearchSession<'a, 'o> {
         self.finished
     }
 
+    /// Whether the session was stopped by its
+    /// [`cancel_when`](Scheduler::cancel_when) probe. A cancelled
+    /// session is finished, holds no claimable outcome, and will never
+    /// do work again.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
     /// Rounds executed so far.
     pub fn rounds(&self) -> usize {
         self.rounds_done
@@ -430,9 +530,33 @@ impl<'a, 'o> SearchSession<'a, 'o> {
     }
 
     /// Drives the remaining rounds to completion and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`cancel_when`](Scheduler::cancel_when) probe fired
+    /// — cancellable callers use [`run_cancellable`](Self::run_cancellable).
     pub fn run(mut self) -> SearchOutcome {
         while self.step() == StepOutcome::Running {}
+        assert!(
+            !self.cancelled,
+            "search cancelled: use run_cancellable() with a cancel_when probe"
+        );
         self.into_outcome()
+    }
+
+    /// Drives the remaining rounds to completion, honouring the
+    /// [`cancel_when`](Scheduler::cancel_when) probe.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] if the probe fired before the session finished;
+    /// all partial work is discarded.
+    pub fn run_cancellable(mut self) -> Result<SearchOutcome, Cancelled> {
+        while self.step() == StepOutcome::Running {}
+        if self.cancelled {
+            return Err(Cancelled);
+        }
+        Ok(self.into_outcome())
     }
 
     /// Consumes the session into its [`SearchOutcome`].
@@ -522,6 +646,54 @@ mod tests {
         let listed = Scheduler::new(&net, &hw).config(quick(0)).seeds([42]).run();
         assert_eq!(direct.best.encoding, listed.best.encoding);
         assert_eq!(direct.best.cost, listed.best.cost);
+    }
+
+    #[test]
+    fn cancel_probe_aborts_the_session_with_a_typed_error() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+
+        // A probe that never fires changes nothing.
+        let never = || false;
+        let out = Scheduler::new(&net, &hw)
+            .config(quick(5))
+            .cancel_when(&never)
+            .run_cancellable()
+            .expect("uncancelled run completes");
+        let plain = Scheduler::new(&net, &hw).config(quick(5)).run();
+        assert_eq!(out.best.encoding, plain.best.encoding);
+        assert_eq!(out.evals, plain.evals);
+
+        // A probe armed mid-flight cancels: typed error, no outcome.
+        let polls = AtomicUsize::new(0);
+        let after_two = move || polls.fetch_add(1, Ordering::SeqCst) >= 2;
+        let res =
+            Scheduler::new(&net, &hw).config(quick(5)).cancel_when(&after_two).run_cancellable();
+        assert_eq!(res.unwrap_err(), Cancelled);
+
+        // A pre-fired probe stops before any work.
+        let flag = AtomicBool::new(true);
+        let probe = || flag.load(Ordering::SeqCst);
+        let mut session = Scheduler::new(&net, &hw).config(quick(5)).cancel_when(&probe).build();
+        assert_eq!(session.step(), StepOutcome::Finished);
+        assert!(session.is_cancelled());
+        assert_eq!(session.evals(), 0, "no work after a pre-fired cancel");
+    }
+
+    #[test]
+    fn cancelled_portfolio_returns_cancelled() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let net = zoo::fig2(1);
+        let hw = HardwareConfig::edge();
+        let polls = AtomicUsize::new(0);
+        let probe = move || polls.fetch_add(1, Ordering::SeqCst) >= 3;
+        let res = Scheduler::new(&net, &hw)
+            .config(quick(0))
+            .seeds([3u64, 4, 5])
+            .cancel_when(&probe)
+            .run_cancellable();
+        assert_eq!(res.unwrap_err(), Cancelled);
     }
 
     #[test]

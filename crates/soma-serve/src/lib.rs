@@ -60,7 +60,7 @@ pub mod server;
 pub mod shutdown;
 
 pub use admission::{estimate_evals, Admission};
-pub use client::{Client, Submission};
+pub use client::{Client, ClientError, RetryPolicy, Submission};
 pub use net::Listen;
 pub use protocol::{
     FrameError, RejectReason, Request, Response, StatsSnapshot, SubmitRequest, Target,

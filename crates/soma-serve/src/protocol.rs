@@ -93,6 +93,12 @@ pub struct SubmitRequest {
     pub effort: Option<f64>,
     /// Stream `progress` frames while the search runs (default `true`).
     pub progress: bool,
+    /// Optional deadline in milliseconds, measured by the server from
+    /// frame receipt. A search still running at the deadline is
+    /// cancelled cooperatively and the submit ends with a
+    /// `deadline-exceeded` rejection. Cache hits always beat any
+    /// deadline. `None` (the default) means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SubmitRequest {
@@ -104,6 +110,7 @@ impl SubmitRequest {
             seeds: Vec::new(),
             effort: None,
             progress: true,
+            deadline_ms: None,
         }
     }
 }
@@ -145,6 +152,9 @@ impl Request {
                 }
                 if !s.progress {
                     o.push("progress", false.into());
+                }
+                if let Some(d) = s.deadline_ms {
+                    o.push("deadline_ms", d.into());
                 }
             }
             Request::Ping => o.push("type", "ping".into()),
@@ -202,7 +212,21 @@ impl Request {
                         p.as_bool().ok_or_else(|| FrameError::new("`progress` is not a bool"))?
                     }
                 };
-                Ok(Request::Submit(SubmitRequest { id, target, seeds, effort, progress }))
+                let deadline_ms = match v.get("deadline_ms") {
+                    None => None,
+                    Some(d) => Some(
+                        d.as_u64()
+                            .ok_or_else(|| FrameError::new("`deadline_ms` is not an integer"))?,
+                    ),
+                };
+                Ok(Request::Submit(SubmitRequest {
+                    id,
+                    target,
+                    seeds,
+                    effort,
+                    progress,
+                    deadline_ms,
+                }))
             }
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
@@ -223,6 +247,12 @@ pub enum RejectReason {
     BadRequest,
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// The request's `deadline_ms` expired before the search finished
+    /// (or had already expired at admission). Unlike every other
+    /// reason, this one may arrive *after* an `accepted` frame: the
+    /// search was cancelled cooperatively and its partial work
+    /// discarded.
+    DeadlineExceeded,
 }
 
 impl RejectReason {
@@ -233,6 +263,7 @@ impl RejectReason {
             RejectReason::BudgetExceeded => "budget-exceeded",
             RejectReason::BadRequest => "bad-request",
             RejectReason::ShuttingDown => "shutting-down",
+            RejectReason::DeadlineExceeded => "deadline-exceeded",
         }
     }
 
@@ -242,6 +273,7 @@ impl RejectReason {
             "budget-exceeded" => Ok(RejectReason::BudgetExceeded),
             "bad-request" => Ok(RejectReason::BadRequest),
             "shutting-down" => Ok(RejectReason::ShuttingDown),
+            "deadline-exceeded" => Ok(RejectReason::DeadlineExceeded),
             other => Err(FrameError::new(format!("unknown reject reason `{other}`"))),
         }
     }
@@ -266,6 +298,14 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Rows currently in the ledger.
     pub ledger_rows: u64,
+    /// Searches cancelled mid-flight (deadline expired or client
+    /// disconnected) with their partial work discarded.
+    pub cancelled: u64,
+    /// Search panics caught and isolated (the connection survived).
+    pub panics: u64,
+    /// Corrupt ledger rows quarantined when the daemon loaded its
+    /// ledger.
+    pub quarantined: u64,
 }
 
 /// A server → client frame.
@@ -365,6 +405,9 @@ impl Response {
                 o.push("cache_hits", s.cache_hits.into());
                 o.push("rejected", s.rejected.into());
                 o.push("ledger_rows", s.ledger_rows.into());
+                o.push("cancelled", s.cancelled.into());
+                o.push("panics", s.panics.into());
+                o.push("quarantined", s.quarantined.into());
             }
             Response::Error { detail } => {
                 o.push("type", "error".into());
@@ -430,6 +473,11 @@ impl Response {
                 cache_hits: get_u64("cache_hits")?,
                 rejected: get_u64("rejected")?,
                 ledger_rows: get_u64("ledger_rows")?,
+                // Additive v1 fields: absent when talking to an older
+                // daemon, so default rather than reject.
+                cancelled: v.get("cancelled").and_then(Value::as_u64).unwrap_or(0),
+                panics: v.get("panics").and_then(Value::as_u64).unwrap_or(0),
+                quarantined: v.get("quarantined").and_then(Value::as_u64).unwrap_or(0),
             })),
             "error" => Ok(Response::Error { detail: get_str(v, "detail")? }),
             other => Err(FrameError::new(format!("unknown response type `{other}`"))),
@@ -476,6 +524,11 @@ mod tests {
             seeds: vec![1, 2, 3],
             effort: Some(0.02),
             progress: false,
+            deadline_ms: Some(1500),
+        }));
+        round_trip_request(&Request::Submit(SubmitRequest {
+            deadline_ms: Some(0),
+            ..SubmitRequest::scenario("r3", "fig2@edge/b1")
         }));
     }
 
@@ -499,6 +552,9 @@ mod tests {
                 cache_hits: 1,
                 rejected: 3,
                 ledger_rows: 4,
+                cancelled: 5,
+                panics: 6,
+                quarantined: 7,
             }),
             Response::Error { detail: "bad json".into() },
         ];
@@ -516,6 +572,7 @@ mod tests {
             RejectReason::BudgetExceeded,
             RejectReason::BadRequest,
             RejectReason::ShuttingDown,
+            RejectReason::DeadlineExceeded,
         ] {
             assert_eq!(RejectReason::parse(reason.as_str()).unwrap(), reason);
         }
@@ -541,5 +598,22 @@ mod tests {
         let e = bad("{\"v\":1,\"type\":\"submit\",\"id\":\"x\",\"scenario\":\"s\",\"seeds\":[-1]}");
         assert!(e.to_string().contains("`seeds` element"), "{e}");
         assert!(bad("{\"v\":1,\"type\":\"warp\"}").to_string().contains("unknown request type"));
+        let e = bad(
+            "{\"v\":1,\"type\":\"submit\",\"id\":\"x\",\"scenario\":\"s\",\"deadline_ms\":\"soon\"}",
+        );
+        assert!(e.to_string().contains("`deadline_ms`"), "{e}");
+    }
+
+    #[test]
+    fn stats_failure_counters_default_to_zero_when_absent() {
+        // A pre-chaos daemon omits the failure counters; the client
+        // reads zeros instead of rejecting the frame.
+        let line = "{\"v\":1,\"type\":\"stats\",\"inflight\":0,\"served\":9,\
+                    \"cache_hits\":4,\"rejected\":1,\"ledger_rows\":5}";
+        let Response::Stats(s) = Response::from_json(&parse_line(line).unwrap()).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!((s.cancelled, s.panics, s.quarantined), (0, 0, 0));
+        assert_eq!(s.served, 9);
     }
 }

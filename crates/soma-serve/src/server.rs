@@ -19,14 +19,16 @@
 //! `shutting-down`.
 
 use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use soma_search::record::ENGINE_VERSION;
-use soma_search::{Parallelism, Scheduler, SearchConfig, SearchOutcome};
+use soma_search::{Cancelled, Parallelism, Scheduler, SearchConfig, SearchOutcome};
+use soma_spec::fault::{self, Fault, FaultPlan};
 use soma_spec::ledger::{Ledger, LedgerRow};
 use soma_spec::registry;
 use soma_spec::{cell_hash_hex, inline_scenario_id, read_hardware, read_network, ExperimentCell};
@@ -59,11 +61,15 @@ pub struct ServerConfig {
     /// Seed fan-out policy for each search (wall-clock only; results
     /// are bit-identical across policies).
     pub parallelism: Parallelism,
+    /// Deterministic fault injection for chaos testing (`--chaos`):
+    /// the plan is threaded behind the ledger writer, the frame writer
+    /// and the search runner. `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl ServerConfig {
     /// A config with the documented knob defaults: 8 in-flight submits,
-    /// no budget ceiling, automatic seed fan-out.
+    /// no budget ceiling, automatic seed fan-out, no fault injection.
     pub fn new(listen: Listen, ledger_path: impl Into<PathBuf>) -> Self {
         Self {
             listen,
@@ -71,6 +77,7 @@ impl ServerConfig {
             max_inflight: 8,
             max_evals: 0,
             parallelism: Parallelism::Auto,
+            faults: None,
         }
     }
 }
@@ -81,9 +88,14 @@ struct Shared {
     admission: Admission,
     served: AtomicU64,
     cache_hits: AtomicU64,
+    cancelled: AtomicU64,
+    panics: AtomicU64,
+    /// Corrupt rows quarantined when the ledger loaded (fixed at start).
+    quarantined: u64,
     stop: AtomicBool,
     draining: AtomicBool,
     parallelism: Parallelism,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -105,6 +117,9 @@ impl Shared {
             cache_hits: self.cache_hits.load(Ordering::SeqCst),
             rejected: self.admission.rejected(),
             ledger_rows: self.ledger.lock().expect("ledger lock poisoned").len() as u64,
+            cancelled: self.cancelled.load(Ordering::SeqCst),
+            panics: self.panics.load(Ordering::SeqCst),
+            quarantined: self.quarantined,
         }
     }
 }
@@ -114,6 +129,7 @@ impl Shared {
 pub struct ServerHandle {
     listen: Listen,
     shared: Arc<Shared>,
+    health: soma_spec::LedgerHealth,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -127,6 +143,12 @@ impl ServerHandle {
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// What loading the ledger found and repaired at start-up — callers
+    /// (the `serve` binary) surface a warning when it is not clean.
+    pub fn ledger_health(&self) -> soma_spec::LedgerHealth {
+        self.health
     }
 
     /// Starts draining without waiting: new submits are refused with
@@ -167,7 +189,11 @@ impl Drop for ServerHandle {
 ///
 /// I/O errors binding the socket or loading a damaged ledger.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
-    let ledger = Ledger::load(&config.ledger_path)?;
+    let mut ledger = Ledger::load(&config.ledger_path)?;
+    let health = ledger.health();
+    if let Some(plan) = &config.faults {
+        ledger.inject_faults(Arc::clone(plan));
+    }
     let (listener, resolved) = Listener::bind(&config.listen)?;
     listener.set_nonblocking(true)?;
 
@@ -176,9 +202,13 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         admission: Admission::new(config.max_inflight, config.max_evals),
         served: AtomicU64::new(0),
         cache_hits: AtomicU64::new(0),
+        cancelled: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        quarantined: health.quarantined as u64,
         stop: AtomicBool::new(false),
         draining: AtomicBool::new(false),
         parallelism: config.parallelism,
+        faults: config.faults.clone(),
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -203,7 +233,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         }
     });
 
-    Ok(ServerHandle { listen: resolved, shared, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle { listen: resolved, shared, health, accept_thread: Some(accept_thread) })
 }
 
 /// Reads one `\n`-terminated line, polling the stop flag across read
@@ -230,8 +260,19 @@ fn read_line_polling(
     }
 }
 
-fn send(writer: &mut Stream, resp: &Response) -> io::Result<()> {
-    writeln!(writer, "{}", to_line(&resp.to_json()))?;
+fn send(writer: &mut Stream, shared: &Shared, resp: &Response) -> io::Result<()> {
+    let line = to_line(&resp.to_json());
+    if let Some(Fault::DropConnection) =
+        shared.faults.as_ref().and_then(|p| p.next(fault::site::SERVE_SEND))
+    {
+        // The peer vanishes mid-frame: half the line goes out, then the
+        // connection dies. The caller sees an error exactly as it would
+        // on a real reset.
+        let _ = writer.write_all(&line.as_bytes()[..line.len() / 2]);
+        let _ = writer.flush();
+        return Err(io::Error::other("injected fault: connection dropped mid-frame"));
+    }
+    writeln!(writer, "{line}")?;
     writer.flush()
 }
 
@@ -254,7 +295,7 @@ fn handle_connection(stream: Stream, shared: &Shared) {
         let request = match parse_line(line.trim_end()).and_then(|v| Request::from_json(&v)) {
             Ok(req) => req,
             Err(e) => {
-                if send(&mut writer, &Response::Error { detail: e.to_string() }).is_err() {
+                if send(&mut writer, shared, &Response::Error { detail: e.to_string() }).is_err() {
                     return;
                 }
                 continue;
@@ -263,9 +304,10 @@ fn handle_connection(stream: Stream, shared: &Shared) {
         let ok = match request {
             Request::Ping => send(
                 &mut writer,
+                shared,
                 &Response::Pong { engine: ENGINE_VERSION.into(), protocol: PROTOCOL_VERSION },
             ),
-            Request::Stats => send(&mut writer, &Response::Stats(shared.snapshot())),
+            Request::Stats => send(&mut writer, shared, &Response::Stats(shared.snapshot())),
             Request::Submit(submit) => handle_submit(&mut writer, shared, submit),
         };
         if ok.is_err() {
@@ -312,9 +354,20 @@ fn resolve_target(target: &Target) -> Result<ExperimentCell, String> {
     }
 }
 
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 fn handle_submit(writer: &mut Stream, shared: &Shared, submit: SubmitRequest) -> io::Result<()> {
+    // The deadline clock starts at frame receipt, before any work.
+    let deadline = submit.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let reject = |writer: &mut Stream, reason: RejectReason, detail: String| {
-        send(writer, &Response::Rejected { id: submit.id.clone(), reason, detail })
+        send(writer, shared, &Response::Rejected { id: submit.id.clone(), reason, detail })
     };
 
     if shared.refusing() {
@@ -350,16 +403,28 @@ fn handle_submit(writer: &mut Stream, shared: &Shared, submit: SubmitRequest) ->
         shared.served.fetch_add(1, Ordering::SeqCst);
         send(
             writer,
+            shared,
             &Response::Accepted { id: submit.id.clone(), hash: hash.clone(), cached: true },
         )?;
         return send(
             writer,
+            shared,
             &Response::Result {
                 id: submit.id.clone(),
                 hash,
                 cached: true,
                 outcome: Box::new(outcome),
             },
+        );
+    }
+
+    // A cache hit beats any deadline (it costs nothing), but a cold
+    // search that cannot possibly finish in time is refused up front.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return reject(
+            writer,
+            RejectReason::DeadlineExceeded,
+            format!("deadline of {}ms expired before admission", submit.deadline_ms.unwrap_or(0)),
         );
     }
 
@@ -380,17 +445,33 @@ fn handle_submit(writer: &mut Stream, shared: &Shared, submit: SubmitRequest) ->
             return reject(writer, reason, detail);
         }
     };
-    send(writer, &Response::Accepted { id: submit.id.clone(), hash: hash.clone(), cached: false })?;
+    send(
+        writer,
+        shared,
+        &Response::Accepted { id: submit.id.clone(), hash: hash.clone(), cached: false },
+    )?;
 
-    let mut send_failed = false;
-    let outcome: SearchOutcome = {
+    // The search is cancelled cooperatively when the deadline lapses or
+    // the client disconnects mid-stream — a vanished client releases
+    // its permit and its partial work is discarded instead of burning a
+    // full search nobody will read. Panics inside the engine (real or
+    // injected) are caught here: one poisoned request must not take
+    // down the daemon.
+    let disconnected = AtomicBool::new(false);
+    let probe =
+        || disconnected.load(Ordering::SeqCst) || deadline.is_some_and(|d| Instant::now() >= d);
+    let search = catch_unwind(AssertUnwindSafe(|| {
+        match shared.faults.as_ref().and_then(|p| p.next(fault::site::SERVE_SEARCH)) {
+            Some(Fault::Panic) => panic!("injected fault: search panic"),
+            Some(Fault::Slow { millis }) => std::thread::sleep(Duration::from_millis(millis)),
+            _ => {}
+        }
         let mut observer = |ev: &soma_search::SearchEvent| {
-            if submit.progress && !send_failed {
+            if submit.progress && !disconnected.load(Ordering::SeqCst) {
                 let frame = Response::Progress { id: submit.id.clone(), event: ev.clone() };
-                // A vanished client must not abort the search: the
-                // outcome still belongs in the ledger for the next
-                // requester.
-                send_failed = send(writer, &frame).is_err();
+                if send(writer, shared, &frame).is_err() {
+                    disconnected.store(true, Ordering::SeqCst);
+                }
             }
         };
         Scheduler::new(&cell.net, &cell.hw)
@@ -398,22 +479,61 @@ fn handle_submit(writer: &mut Stream, shared: &Shared, submit: SubmitRequest) ->
             .seeds(seeds.iter().copied())
             .parallelism(shared.parallelism)
             .observer(&mut observer)
-            .run()
-    };
+            .cancel_when(&probe)
+            .run_cancellable()
+    }));
     drop(permit);
+
+    let outcome: SearchOutcome = match search {
+        Err(payload) => {
+            shared.panics.fetch_add(1, Ordering::SeqCst);
+            return send(
+                writer,
+                shared,
+                &Response::Error {
+                    detail: format!(
+                        "search panicked: {} (request {} failed; the daemon survives)",
+                        panic_message(payload.as_ref()),
+                        submit.id
+                    ),
+                },
+            );
+        }
+        Ok(Err(Cancelled)) => {
+            shared.cancelled.fetch_add(1, Ordering::SeqCst);
+            if disconnected.load(Ordering::SeqCst) {
+                // Nobody is listening; close the connection.
+                return Err(io::Error::other("client disconnected mid-search"));
+            }
+            return reject(
+                writer,
+                RejectReason::DeadlineExceeded,
+                format!(
+                    "deadline of {}ms expired mid-search; partial work discarded",
+                    submit.deadline_ms.unwrap_or(0)
+                ),
+            );
+        }
+        Ok(Ok(outcome)) => outcome,
+    };
 
     {
         let mut ledger = shared.ledger.lock().expect("ledger lock poisoned");
         // Two concurrent submits of the same request both search (the
         // outcomes are bit-identical); only the first appends, keeping
-        // the ledger one-row-per-key like the lab orchestrator.
+        // the ledger one-row-per-key like the lab orchestrator. A
+        // failed append (real or injected) is not fatal to the client:
+        // the outcome is correct either way, the cache just won't have
+        // it until someone recomputes — and the next load repairs any
+        // torn tail the failure left behind.
         if ledger.lookup(&hash).is_none() {
-            ledger.append(LedgerRow::new(&cell, &hash, outcome.clone()))?;
+            let _ = ledger.append(LedgerRow::new(&cell, &hash, outcome.clone()));
         }
     }
     shared.served.fetch_add(1, Ordering::SeqCst);
     send(
         writer,
+        shared,
         &Response::Result {
             id: submit.id.clone(),
             hash,

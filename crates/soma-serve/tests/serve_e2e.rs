@@ -29,6 +29,7 @@ fn quick(id: &str, scenario: &str, seed: u64) -> SubmitRequest {
         seeds: vec![seed],
         effort: Some(0.01),
         progress: true,
+        deadline_ms: None,
     }
 }
 
@@ -173,6 +174,7 @@ fn inline_network_specs_schedule_and_cache() {
         seeds: vec![5],
         effort: Some(0.01),
         progress: true,
+        deadline_ms: None,
     };
 
     let ledger_path = tmp("inline.jsonl");

@@ -4,10 +4,26 @@
 //! The ledger is the workspace's content-addressed result cache. One
 //! JSON line per completed cell, keyed by [`cell_hash`](crate::cell_hash)
 //! over everything that determines the outcome (scenario id, resolved
-//! hardware, full `SearchConfig`, seed portfolio, engine version); a
-//! partially written trailing line — the signature of a process killed
-//! mid-append — is detected, dropped and truncated away on load, so an
-//! interrupted producer always leaves a valid prefix.
+//! hardware, full `SearchConfig`, seed portfolio, engine version).
+//! The on-disk format, recovery semantics and versioning rules are
+//! specified in `specs/LEDGER.md`.
+//!
+//! **Crash safety and self-validation** (format v2):
+//!
+//! * Every row carries a `crc` field — FNV-1a 64 over the canonical
+//!   rendering of the rest of the line — so silent corruption (a
+//!   flipped bit that still parses as JSON) is caught, not replayed.
+//! * A partially written trailing line — the signature of a process
+//!   killed mid-append — is dropped and truncated away on load.
+//! * A corrupt row **anywhere else** in the file (torn by a crashed
+//!   concurrent writer, bit-rotted, or plain garbage) no longer aborts
+//!   the load: the row is moved to a `<name>.quarantine.jsonl` sidecar,
+//!   the main file is compacted crash-safely (write temp + rename),
+//!   and every valid row survives. [`Ledger::health`] reports exactly
+//!   what happened.
+//! * Duplicate-hash rows are **last-write-wins**: all copies stay in
+//!   the file (append-only history), lookups resolve to the newest,
+//!   and [`LedgerHealth::duplicates`] counts the shadowed ones.
 //!
 //! Two producers share this type: the `lab` experiment orchestrator
 //! (`soma-bench`), which writes rows in cell order for its
@@ -15,21 +31,40 @@
 //! appends rows as requests complete and serves repeat requests straight
 //! from the index — the cache grows across restarts because every append
 //! is flushed before the result is reported.
+//!
+//! For chaos testing, a deterministic [`FaultPlan`](crate::fault) can be
+//! attached with [`Ledger::inject_faults`]: appends then suffer seeded
+//! torn writes, silent bit-flips and fsync failures, which is how the
+//! recovery paths above are exercised end-to-end.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::json::{self, Value};
 use soma_search::record::{outcome_from_json, outcome_to_json, ENGINE_VERSION};
 use soma_search::{SearchConfig, SearchOutcome};
 
+use crate::fault::{self, Fault, FaultPlan};
 use crate::hash::cell_hash_hex;
 use crate::ExperimentCell;
 
-/// Ledger line format version; bumping it invalidates old ledgers.
-pub const LEDGER_VERSION: u64 = 1;
+/// Ledger line format version; bumping it invalidates old ledgers
+/// (rows from other versions are quarantined on load, not replayed).
+/// v2 added the per-row `crc` checksum.
+pub const LEDGER_VERSION: u64 = 2;
+
+/// FNV-1a 64 over a byte stream — the row checksum.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
 
 /// One persisted ledger row: the cell's identity plus its complete
 /// [`SearchOutcome`].
@@ -62,9 +97,10 @@ impl LedgerRow {
         }
     }
 
-    /// Renders the row as its single-line JSON ledger entry (no trailing
-    /// newline). Deterministic: equal rows render byte-identically.
-    pub fn to_line(&self) -> String {
+    /// The row's payload object — every field except the checksum, in
+    /// canonical order. The checksum covers this object's canonical
+    /// rendering.
+    fn payload(&self) -> Value {
         let mut o = Value::obj();
         o.push("v", LEDGER_VERSION.into());
         o.push("hash", self.hash.as_str().into());
@@ -73,17 +109,51 @@ impl LedgerRow {
         o.push("platform", self.platform.as_str().into());
         o.push("batch", self.batch.into());
         o.push("outcome", outcome_to_json(&self.outcome));
+        o
+    }
+
+    /// Renders the row as its single-line JSON ledger entry (no trailing
+    /// newline), `crc` first. Deterministic: equal rows render
+    /// byte-identically.
+    pub fn to_line(&self) -> String {
+        let payload = self.payload();
+        let crc = format!("{:016x}", fnv1a(json::to_string(&payload).bytes()));
+        let mut o = Value::obj();
+        o.push("crc", crc.into());
+        let Value::Obj(fields) = payload else { unreachable!("payload is an object") };
+        for (k, v) in fields {
+            o.push(k, v);
+        }
         json::to_string(&o)
     }
 
-    /// Parses one ledger line back into a row.
+    /// Parses and **verifies** one ledger line: the embedded `crc` must
+    /// match FNV-1a over the canonical rendering of the remaining
+    /// fields, or the row is corrupt.
     ///
     /// # Errors
     ///
-    /// A human-readable description of the first schema violation
-    /// (unsupported version, missing field, malformed outcome).
+    /// A human-readable description of the first violation (bad JSON,
+    /// missing/mismatched checksum, unsupported version, missing field,
+    /// malformed outcome).
     pub fn from_line(line: &str) -> Result<Self, String> {
         let v = json::parse(line).map_err(|e| e.to_string())?;
+        let Value::Obj(fields) = v else { return Err("row is not a JSON object".into()) };
+        let mut crc = None;
+        let mut payload = Value::obj();
+        for (k, val) in fields {
+            if k == "crc" {
+                crc = Some(val);
+            } else {
+                payload.push(k, val);
+            }
+        }
+        let crc = crc.and_then(|c| c.as_str().map(str::to_string)).ok_or("missing `crc`")?;
+        let computed = format!("{:016x}", fnv1a(json::to_string(&payload).bytes()));
+        if crc != computed {
+            return Err(format!("checksum mismatch: row says {crc}, content is {computed}"));
+        }
+        let v = payload;
         let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
         if version != LEDGER_VERSION {
             return Err(format!("unsupported ledger version {version}"));
@@ -108,6 +178,28 @@ impl LedgerRow {
     }
 }
 
+/// What [`Ledger::load`] found and repaired — the ledger's self-report.
+/// A healthy load is `kept == rows, everything else zero/false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerHealth {
+    /// Valid rows kept (including shadowed duplicates).
+    pub kept: usize,
+    /// Corrupt non-trailing rows moved to the quarantine sidecar.
+    pub quarantined: usize,
+    /// Whether a partially written trailing line was dropped.
+    pub truncated: bool,
+    /// Valid rows whose hash repeats an earlier row's (last-write-wins;
+    /// this counts the shadowed earlier copies).
+    pub duplicates: usize,
+}
+
+impl LedgerHealth {
+    /// Whether the load found any damage at all.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0 && !self.truncated
+    }
+}
+
 /// The on-disk run ledger: an append-only JSONL file mapping cell
 /// content hashes to persisted [`SearchOutcome`]s.
 #[derive(Debug)]
@@ -115,65 +207,133 @@ pub struct Ledger {
     path: PathBuf,
     rows: Vec<LedgerRow>,
     index: HashMap<String, usize>,
+    health: LedgerHealth,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// The quarantine sidecar path of a ledger: `runs/x.jsonl` →
+/// `runs/x.quarantine.jsonl`.
+pub fn quarantine_path(ledger: &Path) -> PathBuf {
+    let stem = ledger.file_stem().and_then(|s| s.to_str()).unwrap_or("ledger");
+    ledger.with_file_name(format!("{stem}.quarantine.jsonl"))
 }
 
 impl Ledger {
     /// Loads (or creates the notion of) the ledger at `path`. A missing
-    /// file is an empty ledger. A partially written trailing line — the
-    /// signature of a run killed mid-append — is dropped and truncated
-    /// away so subsequent appends continue from the last complete row.
+    /// file is an empty ledger.
+    ///
+    /// Recovery is automatic and crash-safe:
+    ///
+    /// * a partially written trailing line (a kill mid-append) is
+    ///   dropped and truncated away;
+    /// * corrupt rows anywhere else (checksum mismatch, bad JSON,
+    ///   foreign version) are appended to the `<name>.quarantine.jsonl`
+    ///   sidecar and the main file is compacted via temp-file + rename,
+    ///   so a crash mid-repair leaves either the old or the new file —
+    ///   never a mix;
+    /// * duplicate-hash rows all stay; lookups resolve to the newest
+    ///   (last-write-wins).
+    ///
+    /// [`health`](Self::health) reports what was kept, quarantined,
+    /// truncated and shadowed. Loading never loses a valid row.
     ///
     /// # Errors
     ///
-    /// I/O errors, or a corrupt line *before* the last (which indicates
-    /// real damage rather than an interrupted append).
+    /// Real I/O errors only — corruption is repaired, not fatal.
     pub fn load(path: &Path) -> io::Result<Self> {
-        let mut ledger = Self { path: path.to_path_buf(), rows: Vec::new(), index: HashMap::new() };
-        let text = match fs::read_to_string(path) {
-            Ok(text) => text,
+        let mut ledger = Self {
+            path: path.to_path_buf(),
+            rows: Vec::new(),
+            index: HashMap::new(),
+            health: LedgerHealth::default(),
+            faults: None,
+        };
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ledger),
             Err(e) => return Err(e),
         };
+        // Bit-rot can break UTF-8 itself; decode lossily so the damaged
+        // row quarantines like any other instead of failing the load.
+        // After a lossy decode, byte offsets into the original file are
+        // meaningless, so in-place tail truncation is off the table and
+        // the repair must go through the full compaction path.
+        let (text, lossy) = match String::from_utf8(bytes) {
+            Ok(text) => (text, false),
+            Err(e) => (String::from_utf8_lossy(e.as_bytes()).into_owned(), true),
+        };
 
-        let mut keep_bytes = 0usize;
-        let mut offset = 0usize;
+        let mut kept_lines: Vec<&str> = Vec::new();
+        let mut quarantined: Vec<&str> = Vec::new();
         let lines: Vec<&str> = text.split('\n').collect();
         for (i, line) in lines.iter().enumerate() {
-            let is_last = i + 1 == lines.len();
+            // `split` leaves no trailing '\n' on the last piece, so a
+            // non-empty last piece is a torn trailing write.
+            let is_torn_tail = i + 1 == lines.len();
             if line.is_empty() {
-                offset += 1;
                 continue;
+            }
+            if is_torn_tail {
+                ledger.health.truncated = true;
+                break;
             }
             match LedgerRow::from_line(line) {
                 Ok(row) => {
-                    let complete = !is_last; // `split` leaves no trailing '\n' on the last piece
-                    if !complete {
-                        break; // no newline after it: treat as torn write
+                    if let Some(prev) = ledger.index.insert(row.hash.clone(), ledger.rows.len()) {
+                        let _ = prev;
+                        ledger.health.duplicates += 1;
                     }
-                    ledger.index.insert(row.hash.clone(), ledger.rows.len());
                     ledger.rows.push(row);
-                    offset += line.len() + 1;
-                    keep_bytes = offset;
+                    kept_lines.push(line);
                 }
-                Err(msg) if is_last => {
-                    // Torn trailing line: drop it.
-                    let _ = msg;
-                    break;
-                }
-                Err(msg) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}: corrupt ledger line {}: {msg}", path.display(), i + 1),
-                    ));
-                }
+                Err(_) => quarantined.push(line),
             }
         }
-        if keep_bytes < text.len() {
-            // Truncate the torn tail so appends produce a clean file.
+        ledger.health.kept = ledger.rows.len();
+        ledger.health.quarantined = quarantined.len();
+
+        if !quarantined.is_empty() || lossy {
+            // Quarantine first, then compact: a crash between the two
+            // leaves the corrupt rows present in both places, and the
+            // next load simply quarantines them again.
+            if !quarantined.is_empty() {
+                let qpath = quarantine_path(path);
+                let mut q = fs::OpenOptions::new().create(true).append(true).open(&qpath)?;
+                for line in &quarantined {
+                    writeln!(q, "{line}")?;
+                }
+                q.flush()?;
+            }
+            Self::rewrite(path, &kept_lines)?;
+        } else if ledger.health.truncated {
+            // Only a torn tail: truncate in place (the prefix is intact).
+            let keep: usize = kept_lines.iter().map(|l| l.len() + 1).sum();
             let f = fs::OpenOptions::new().write(true).open(path)?;
-            f.set_len(keep_bytes as u64)?;
+            f.set_len(keep as u64)?;
         }
         Ok(ledger)
+    }
+
+    /// Crash-safely replaces the ledger file with exactly `lines`:
+    /// write a temp file in the same directory, flush, rename over.
+    fn rewrite(path: &Path, lines: &[&str]) -> io::Result<()> {
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            for line in lines {
+                writeln!(f, "{line}")?;
+            }
+            f.flush()?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Attaches a deterministic fault plan: subsequent appends consult
+    /// it (site [`fault::site::LEDGER_APPEND`]) and may tear, corrupt
+    /// or fail. Chaos-test plumbing — never set in production paths.
+    pub fn inject_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// The ledger's file path.
@@ -181,7 +341,12 @@ impl Ledger {
         &self.path
     }
 
-    /// All rows, in file order.
+    /// What [`load`](Self::load) found and repaired.
+    pub fn health(&self) -> LedgerHealth {
+        self.health
+    }
+
+    /// All rows, in file order (shadowed duplicates included).
     pub fn rows(&self) -> &[LedgerRow] {
         &self.rows
     }
@@ -196,28 +361,64 @@ impl Ledger {
         self.rows.is_empty()
     }
 
-    /// Looks up a row by its cell content hash.
+    /// Looks up a row by its cell content hash. With duplicate-hash
+    /// rows, resolves to the newest (last-write-wins — pinned by test).
     pub fn lookup(&self, hash: &str) -> Option<&LedgerRow> {
         self.index.get(hash).map(|&i| &self.rows[i])
     }
 
     /// Appends one row, creating parent directories and the file on
     /// first use, and flushes before returning — once `append` returns,
-    /// the row survives a kill.
+    /// the row survives a kill. A repeated hash is allowed (the file is
+    /// append-only history) and shadows the earlier row in lookups.
     ///
     /// # Errors
     ///
-    /// I/O errors creating directories or writing the line.
+    /// I/O errors creating directories or writing the line — including
+    /// injected ones when a [`FaultPlan`] is attached. After an error
+    /// the in-memory index is unchanged; the on-disk tail may be torn,
+    /// which the next [`load`](Self::load) repairs.
     pub fn append(&mut self, row: LedgerRow) -> io::Result<()> {
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
                 fs::create_dir_all(dir)?;
             }
         }
+        let line = row.to_line();
         let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
-        writeln!(f, "{}", row.to_line())?;
-        f.flush()?;
-        self.index.insert(row.hash.clone(), self.rows.len());
+
+        match self.faults.as_ref().and_then(|p| p.next(fault::site::LEDGER_APPEND)) {
+            Some(Fault::TornWrite { keep_per_mille }) => {
+                // Persist only a prefix, then "crash" the append.
+                let keep = line.len() * usize::from(keep_per_mille) / 1000;
+                f.write_all(&line.as_bytes()[..keep])?;
+                f.flush()?;
+                return Err(io::Error::other("injected fault: torn write"));
+            }
+            Some(Fault::BitFlip { salt }) => {
+                // The write "succeeds" but the medium lies: one bit of
+                // the persisted line is flipped. The row is indexed in
+                // memory (the writer believes it) and only the next
+                // load's checksum pass discovers the damage.
+                let mut bytes = line.clone().into_bytes();
+                fault::flip_bit(&mut bytes, salt);
+                f.write_all(&bytes)?;
+                f.write_all(b"\n")?;
+                f.flush()?;
+            }
+            Some(Fault::FsyncError) => {
+                return Err(io::Error::other("injected fault: fsync failed"));
+            }
+            _ => {
+                f.write_all(line.as_bytes())?;
+                f.write_all(b"\n")?;
+                f.flush()?;
+            }
+        }
+        if let Some(prev) = self.index.insert(row.hash.clone(), self.rows.len()) {
+            let _ = prev;
+            self.health.duplicates += 1;
+        }
         self.rows.push(row);
         Ok(())
     }
@@ -232,15 +433,32 @@ pub fn cell_key(cell: &ExperimentCell, config: &SearchConfig, seeds: &[u64]) -> 
 mod tests {
     use super::*;
 
-    #[test]
-    fn corrupt_interior_line_is_an_error() {
+    fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("soma-ledger-unit");
         fs::create_dir_all(&dir).expect("temp dir");
-        let path = dir.join(format!("{}-corrupt.jsonl", std::process::id()));
-        fs::write(&path, "garbage\n{\"v\":1}\n").unwrap();
-        let err = Ledger::load(&path).unwrap_err();
-        assert!(err.to_string().contains("line 1"), "{err}");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_quarantined_not_fatal() {
+        let path = tmp("corrupt.jsonl");
+        let qpath = quarantine_path(&path);
+        let _ = fs::remove_file(&qpath);
+        fs::write(&path, "garbage\n").unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert!(ledger.is_empty());
+        assert_eq!(
+            ledger.health(),
+            LedgerHealth { kept: 0, quarantined: 1, truncated: false, duplicates: 0 }
+        );
+        assert!(!ledger.health().is_clean());
+        // The corrupt line moved to the sidecar and the main file is
+        // compacted clean: a reload reports full health.
+        assert_eq!(fs::read_to_string(&qpath).unwrap(), "garbage\n");
+        assert_eq!(fs::read(&path).unwrap().len(), 0);
+        assert!(Ledger::load(&path).unwrap().health().is_clean());
         let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&qpath);
     }
 
     #[test]
@@ -250,11 +468,36 @@ mod tests {
         assert!(ledger.is_empty());
         assert_eq!(ledger.len(), 0);
         assert!(ledger.lookup("0000000000000000").is_none());
+        assert!(ledger.health().is_clean());
     }
 
     #[test]
     fn unsupported_version_is_rejected() {
-        let err = LedgerRow::from_line("{\"v\":99}").unwrap_err();
+        // A v1 row (no crc) fails the checksum gate first; a crc'd row
+        // of a foreign version fails the version gate.
+        let err = LedgerRow::from_line("{\"v\":1,\"hash\":\"x\"}").unwrap_err();
+        assert!(err.contains("missing `crc`"), "{err}");
+        let payload = "{\"v\":99}";
+        let crc = format!("{:016x}", fnv1a(payload.bytes()));
+        let line = format!("{{\"crc\":\"{crc}\",\"v\":99}}");
+        let err = LedgerRow::from_line(&line).unwrap_err();
         assert!(err.contains("unsupported ledger version 99"), "{err}");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let payload = "{\"v\":2,\"hash\":\"abc\"}";
+        let line =
+            format!("{{\"crc\":\"{:016x}\",\"v\":2,\"hash\":\"abd\"}}", fnv1a(payload.bytes()));
+        let err = LedgerRow::from_line(&line).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_path_replaces_the_extension() {
+        assert_eq!(
+            quarantine_path(Path::new("runs/serve.jsonl")),
+            PathBuf::from("runs/serve.quarantine.jsonl")
+        );
     }
 }

@@ -71,6 +71,7 @@
 
 pub mod error;
 pub mod experiment;
+pub mod fault;
 pub mod hardware;
 pub mod hash;
 pub mod ledger;
@@ -79,8 +80,9 @@ pub mod registry;
 
 pub use error::SpecError;
 pub use experiment::{read_experiment, write_experiment, ExperimentCell, ExperimentSpec};
+pub use fault::{Fault, FaultConfig, FaultPlan};
 pub use hardware::{read_hardware, write_hardware, HardwareSpec, HwField, Preset};
 pub use hash::{cell_hash, cell_hash_hex, inline_scenario_id};
-pub use ledger::{cell_key, Ledger, LedgerRow, LEDGER_VERSION};
+pub use ledger::{cell_key, quarantine_path, Ledger, LedgerHealth, LedgerRow, LEDGER_VERSION};
 pub use network::{read_network, write_network};
 pub use registry::{scenario_id, scenarios, Scenario};
