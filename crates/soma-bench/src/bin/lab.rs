@@ -34,8 +34,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use soma_bench::{csv_rows, run_lab_until, LabEvent, CSV_HEADER};
+use soma_obs::summary::{CampaignSummary, CellOutcome, RunCounts};
 use soma_search::Parallelism;
 use soma_serve::shutdown;
 use soma_spec::read_experiment;
@@ -43,7 +45,7 @@ use soma_spec::read_experiment;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lab <experiment.soma> [--ledger <path>] [--require-hits] \
-         [--threads <auto|seq|N>] [--version]"
+         [--threads <auto|seq|N>] [--summary <out.json>] [--version]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +63,7 @@ fn main() -> ExitCode {
 
     let mut spec_path: Option<String> = None;
     let mut ledger_path: Option<PathBuf> = None;
+    let mut summary_path: Option<PathBuf> = None;
     let mut require_hits = false;
     let mut threads_flag: Option<Parallelism> = None;
     let mut args = std::env::args().skip(1);
@@ -68,6 +71,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--ledger" => match args.next() {
                 Some(p) => ledger_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--summary" => match args.next() {
+                Some(p) => summary_path = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             "--threads" => match args.next().map(|v| v.parse()) {
@@ -122,6 +129,7 @@ fn main() -> ExitCode {
     // out, flushes every completed-in-order cell, and returns with
     // `stopped: true` — the ledger stays a clean, replayable prefix.
     shutdown::install_signal_handlers();
+    let run_start = Instant::now();
     let summary = run_lab_until(&spec, &ledger, shutdown::stop_flag(), |ev| match ev {
         LabEvent::Queued { cell, hash } => eprintln!("[lab] queued   {cell} ({hash})"),
         LabEvent::Cached { cell, .. } => eprintln!("[lab] cached   {cell}"),
@@ -139,6 +147,44 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed_s = run_start.elapsed().as_secs_f64();
+
+    if let Some(out) = &summary_path {
+        let cells: Vec<CellOutcome> = summary
+            .rows
+            .iter()
+            .map(|r| CellOutcome {
+                scenario: r.cell.id.clone(),
+                cost: r.outcome.best.cost,
+                latency_cycles: r.outcome.best.report.latency_cycles,
+                evals: r.outcome.evals,
+            })
+            .collect();
+        let campaign = CampaignSummary::from_cells(
+            &spec.name,
+            &cells,
+            summary.health,
+            Some(RunCounts {
+                hits: summary.hits,
+                searched: summary.misses,
+                failed: summary.failed,
+                stopped: summary.stopped,
+                elapsed_s: Some(elapsed_s),
+            }),
+        );
+        if let Some(dir) = out.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        let mut text = campaign.to_string_stable();
+        text.push('\n');
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("lab: cannot write summary {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[lab] campaign summary written to {}", out.display());
+    }
 
     println!("{CSV_HEADER}");
     print!("{}", csv_rows(&summary.rows));
@@ -176,10 +222,19 @@ fn main() -> ExitCode {
         return ExitCode::from(3);
     }
     if summary.failed > 0 {
+        // The partial-failure report carries the full ledger health so a
+        // machine parsing stderr (or a human triaging CI) sees repair
+        // activity alongside the failure count — previously only the
+        // human-readable warning above surfaced it.
         eprintln!(
-            "lab: {} cell(s) failed and were skipped; rerun the same spec to retry \
-             exactly those cells",
-            summary.failed
+            "lab: {} cell(s) failed and were skipped; ledger health: kept {}, \
+             quarantined {}, truncated {}, duplicates {}; rerun the same spec to \
+             retry exactly those cells",
+            summary.failed,
+            summary.health.kept,
+            summary.health.quarantined,
+            summary.health.truncated,
+            summary.health.duplicates
         );
         return ExitCode::from(4);
     }

@@ -180,9 +180,11 @@ fn stats(flags: &Flags) -> ExitCode {
         Ok(s) => {
             // Compact, no spaces: the same shape as the wire frame, so
             // shell gates can grep for `"quarantined":1` verbatim.
+            // `uptime_ms` goes last — never between the grepped fields.
             println!(
                 "{{\"inflight\":{},\"served\":{},\"cache_hits\":{},\"rejected\":{},\
-                 \"ledger_rows\":{},\"cancelled\":{},\"panics\":{},\"quarantined\":{}}}",
+                 \"ledger_rows\":{},\"cancelled\":{},\"panics\":{},\"quarantined\":{},\
+                 \"uptime_ms\":{}}}",
                 s.inflight,
                 s.served,
                 s.cache_hits,
@@ -190,7 +192,8 @@ fn stats(flags: &Flags) -> ExitCode {
                 s.ledger_rows,
                 s.cancelled,
                 s.panics,
-                s.quarantined
+                s.quarantined,
+                s.uptime_ms
             );
             ExitCode::SUCCESS
         }

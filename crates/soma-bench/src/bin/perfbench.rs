@@ -22,6 +22,7 @@
 //!
 //! Usage: `cargo run --release -p soma-bench --bin perfbench > BENCH_search.json`
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -31,6 +32,7 @@ use soma_arch::HardwareConfig;
 use soma_bench::RunConfig;
 use soma_core::{parse_lfa, Dlsa, Lfa};
 use soma_model::Network;
+use soma_obs::StreamingStats;
 use soma_search::dlsa_stage::mutate_dlsa;
 use soma_search::lfa_stage::{initial_lfa, mutate_lfa};
 use soma_search::{CostWeights, DlsaEditor, Objective, SizeWeightedPicker};
@@ -148,6 +150,49 @@ fn stage1_walk(
         evals: obj.evals() - evals_before,
         elapsed_s: start.elapsed().as_secs_f64(),
         final_cost: cur_cost,
+    }
+}
+
+/// Cross-seed aggregate of one (scenario, stage) pair's timings, built
+/// on the shared `soma-obs` streaming aggregators (the same
+/// implementation every other observability consumer uses — perfbench
+/// no longer hand-rolls min/max/mean).
+#[derive(Default)]
+struct StageTimings {
+    naive_eps: StreamingStats,
+    engine_eps: StreamingStats,
+    speedup: StreamingStats,
+}
+
+impl StageTimings {
+    fn fold(&mut self, naive: &Timed, engine: &Timed) {
+        self.naive_eps.observe(naive.evals_per_sec());
+        self.engine_eps.observe(engine.evals_per_sec());
+        if naive.evals_per_sec() > 0.0 {
+            self.speedup.observe(engine.evals_per_sec() / naive.evals_per_sec());
+        }
+    }
+
+    fn to_json(&self, scenario: &str, stage: &str) -> String {
+        let dist = |s: &StreamingStats| {
+            format!(
+                "{{\"min\": {:.1}, \"max\": {:.1}, \"mean\": {:.1}}}",
+                s.min(),
+                s.max(),
+                s.mean()
+            )
+        };
+        format!(
+            "    {{\"scenario\": \"{scenario}\", \"stage\": \"{stage}\", \"seeds\": {}, \
+             \"naive_evals_per_sec\": {}, \"engine_evals_per_sec\": {}, \
+             \"speedup\": {{\"min\": {:.2}, \"max\": {:.2}, \"mean\": {:.2}}}}}",
+            self.naive_eps.count(),
+            dist(&self.naive_eps),
+            dist(&self.engine_eps),
+            self.speedup.min(),
+            self.speedup.max(),
+            self.speedup.mean(),
+        )
     }
 }
 
@@ -385,6 +430,7 @@ fn main() {
     let seeds: Vec<u64> = (0..3).map(|i| rc.seed + i).collect();
 
     let mut rows: Vec<String> = Vec::new();
+    let mut aggregates: BTreeMap<(String, &str), StageTimings> = BTreeMap::new();
     for (name, net) in &nets {
         // Rows are keyed by registry scenario id (the probe runs on
         // `@edge/b1`), which is also what `SOMA_WORKLOAD` matches.
@@ -412,6 +458,7 @@ fn main() {
             let mut row = String::new();
             json_row(&mut row, &scenario, "dlsa", seed, s2_proposals, &naive, &engine);
             rows.push(row);
+            aggregates.entry((scenario.clone(), "dlsa")).or_default().fold(&naive, &engine);
 
             // Stage 1: dominated by parsing either way; the engine only
             // drops the report build.
@@ -425,6 +472,7 @@ fn main() {
             let mut row = String::new();
             json_row(&mut row, &scenario, "lfa", seed, s1_proposals, &naive, &engine);
             rows.push(row);
+            aggregates.entry((scenario.clone(), "lfa")).or_default().fold(&naive, &engine);
         }
     }
 
@@ -446,6 +494,23 @@ fn main() {
     );
     println!("  \"results\": [");
     println!("{}", rows.join(",\n"));
+    println!("  ],");
+    // Cross-seed aggregates per (scenario, stage), via soma-obs stats.
+    let agg_rows: Vec<String> = aggregates
+        .iter()
+        .map(|((scenario, stage), t)| {
+            eprintln!(
+                "[perfbench] {scenario:<20} {stage:<5} aggregate over {} seed(s): \
+                 engine {:>9.1} evals/s mean, speedup {:.2}x mean",
+                t.engine_eps.count(),
+                t.engine_eps.mean(),
+                t.speedup.mean()
+            );
+            t.to_json(scenario, stage)
+        })
+        .collect();
+    println!("  \"aggregate\": [");
+    println!("{}", agg_rows.join(",\n"));
     println!("  ],");
     println!("  \"lab\": [");
     println!("{}", lab_rows.join(",\n"));

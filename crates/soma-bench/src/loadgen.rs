@@ -75,14 +75,14 @@ impl StormReport {
     }
 
     /// Nearest-rank percentile of the latency sample, `p` in `[0, 100]`.
-    /// `0.0` on an empty sample.
+    /// `0.0` on an empty sample. Delegates to the workspace's single
+    /// percentile implementation
+    /// ([`soma_obs::percentile_nearest_rank`], proptested against a
+    /// sort-based oracle) — `latencies_ms` is kept sorted by
+    /// [`storm`].
     #[must_use]
     pub fn percentile_ms(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let rank = ((p / 100.0) * self.latencies_ms.len() as f64).ceil() as usize;
-        self.latencies_ms[rank.saturating_sub(1).min(self.latencies_ms.len() - 1)]
+        soma_obs::percentile_nearest_rank(&self.latencies_ms, p)
     }
 
     /// One perfbench-style JSON object (no trailing newline).

@@ -1,0 +1,35 @@
+//! Gantt drill-down: re-render the `soma-sim` timeline chart for any
+//! finished ledger row, on demand.
+//!
+//! A ledger row persists the cell's winning [`Encoding`] and its full
+//! simulated [`Timeline`](soma_sim::Timeline), and the scenario
+//! registry can rebuild the network the schedule was parsed against —
+//! everything `soma_sim::render_gantt` needs. Rendering is therefore a
+//! pure function of the row: no re-search, no re-simulation.
+
+use soma_core::ParsedSchedule;
+use soma_spec::ledger::LedgerRow;
+use soma_spec::registry;
+
+/// Renders the Gantt chart of a finished ledger row at the given
+/// terminal width.
+///
+/// # Errors
+///
+/// A human-readable message when the row's scenario id is not in the
+/// registry (an inline-hardware cell cannot be rebuilt from its id
+/// alone) or its persisted encoding no longer parses against the
+/// registry network (an engine-version skew the ledger key normally
+/// prevents).
+pub fn gantt_for_row(row: &LedgerRow, width: usize) -> Result<String, String> {
+    let scenario = registry::lookup(&row.cell).ok_or_else(|| {
+        format!(
+            "scenario `{}` is not in the registry; only registry cells can be re-rendered",
+            row.cell
+        )
+    })?;
+    let net = scenario.network();
+    let sched = ParsedSchedule::new(&net, &row.outcome.best.encoding)
+        .map_err(|e| format!("persisted encoding no longer parses: {e}"))?;
+    Ok(soma_sim::render_gantt(&net, &sched, &row.outcome.best.report.timeline, width))
+}

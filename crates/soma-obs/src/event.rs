@@ -1,0 +1,65 @@
+//! The typed campaign progress event, [`LabEvent`] — the shared
+//! vocabulary between the `lab` orchestrator (its producer, which
+//! re-exports it) and every observability consumer in this crate
+//! ([`WatchModel`](crate::WatchModel), the campaign summary builder).
+//!
+//! The type lives here rather than in `soma-bench` so observers do not
+//! have to depend on the orchestrator: `soma-obs` defines the
+//! vocabulary, `soma-bench` speaks it.
+
+use serde::{Deserialize, Serialize};
+
+/// A typed progress event of the experiment orchestrator, mirroring the
+/// per-search [`SearchEvent`](soma_search::SearchEvent) one level up:
+/// events carry plain strings and numbers, serialise cheaply, and arrive
+/// **live**: `Queued` then `Cached` in cell order up front, `Started` as
+/// each search begins (execution order — nondeterministic under a
+/// parallel parallelism policy, cell order under sequential), and
+/// `Finished` in cell order, each emitted the moment the cell's row
+/// lands in the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LabEvent {
+    /// A cell entered the work queue.
+    Queued {
+        /// The cell's scenario id.
+        cell: String,
+        /// The cell's ledger key (16 hex digits).
+        hash: String,
+    },
+    /// A cell was served from the run ledger — no search work.
+    Cached {
+        /// The cell's scenario id.
+        cell: String,
+        /// The ledger key that hit.
+        hash: String,
+    },
+    /// A cell's search started (ledger miss).
+    Started {
+        /// The cell's scenario id.
+        cell: String,
+    },
+    /// A cell's search finished and its row was appended to the ledger.
+    Finished {
+        /// The cell's scenario id.
+        cell: String,
+        /// The ledger key the row was stored under.
+        hash: String,
+        /// Best (envelope) cost of the cell's portfolio.
+        cost: f64,
+        /// Best latency in cycles.
+        latency_cycles: u64,
+        /// Completed schedule evaluations of the cell's portfolio.
+        evals: u64,
+    },
+    /// A cell's search panicked. The panic is isolated: the campaign
+    /// keeps running, the cell gets no ledger row (a rerun retries it),
+    /// and the run exits with a partial-failure code.
+    Failed {
+        /// The cell's scenario id.
+        cell: String,
+        /// The cell's ledger key (never written by this run).
+        hash: String,
+        /// The panic message, best-effort.
+        error: String,
+    },
+}

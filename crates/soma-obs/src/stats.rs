@@ -1,0 +1,618 @@
+//! The streaming statistics engine: constant-space aggregators for the
+//! metrics every observability consumer needs, plus one exact sample
+//! type for when the data fits in memory.
+//!
+//! * [`StreamingStats`] — min/max/mean/sum in O(1) space, mergeable.
+//! * [`Sample`] — an exact sample with nearest-rank percentiles (the
+//!   single implementation behind `loadgen`'s p50/p90/p99 and the
+//!   campaign summary distributions).
+//! * [`P2Quantile`] — the P² (Jain & Chlamtac) streaming quantile
+//!   estimator for samples too large to keep.
+//! * [`Histogram`] — fixed-range linear-bucket counts with a sparkline
+//!   rendering.
+//! * [`StageBreakdown`] — per-stage cost/evals/wall-time aggregation
+//!   keyed by [`StageSpec`] stage names, fed from a
+//!   [`SearchEvent`] stream.
+//!
+//! Everything here is deterministic: the same observations in the same
+//! order produce bit-identical results, which is what lets the campaign
+//! summary be byte-stable.
+
+use std::collections::BTreeMap;
+
+use soma_search::{SearchEvent, StageSpec};
+
+/// Nearest-rank percentile of an **ascending-sorted** slice, `p` in
+/// `[0, 100]`. `0.0` on an empty slice. Rank is `ceil(p/100 · n)`
+/// clamped into the sample — the convention the serve load generator
+/// has always reported.
+#[must_use]
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Constant-space running min/max/mean/sum. Two aggregators over
+/// disjoint halves of a stream [`merge`](Self::merge) into exactly the
+/// aggregator of the whole stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingStats {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for StreamingStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingStats {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+    }
+
+    /// Folds another aggregator in (stream concatenation).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Observations folded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation; `0.0` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `0.0` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// An exact in-memory sample: every observation kept, percentiles by
+/// nearest rank over the sorted data. The ground truth the streaming
+/// estimators are property-tested against — and the right tool whenever
+/// the sample is campaign-sized (thousands, not billions).
+#[derive(Debug, Clone, Default)]
+pub struct Sample {
+    values: Vec<f64>,
+    dirty: bool,
+}
+
+impl Sample {
+    /// An empty sample.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.dirty = true;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted observations (sorts lazily on first access).
+    pub fn sorted(&mut self) -> &[f64] {
+        if self.dirty {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("observations are finite"));
+            self.dirty = false;
+        }
+        &self.values
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`; `0.0` when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        percentile_nearest_rank(self.sorted(), p)
+    }
+
+    /// Min/max/mean of the sample as a [`StreamingStats`].
+    #[must_use]
+    pub fn stats(&self) -> StreamingStats {
+        let mut s = StreamingStats::new();
+        for &x in &self.values {
+            s.observe(x);
+        }
+        s
+    }
+}
+
+/// The P² (Jain & Chlamtac 1985) streaming quantile estimator: five
+/// markers track the target quantile in O(1) space per observation,
+/// exact until the sixth observation arrives. For million-cell
+/// campaigns where an exact [`Sample`] would not fit.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    /// Target quantile as a fraction in `[0, 1]`.
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    count: u64,
+    /// The first five observations, kept sorted (exact phase).
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `p` (a fraction: `0.5` = median).
+    ///
+    /// # Panics
+    ///
+    /// If `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "quantile fraction out of range: {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Observations folded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            let at = self.init.partition_point(|&v| v <= x);
+            self.init.insert(at, x);
+            if self.count == 5 {
+                self.q.copy_from_slice(&self.init);
+            }
+            return;
+        }
+
+        // Locate the cell k with q[k] <= x < q[k+1], stretching the
+        // extreme markers when x falls outside them.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            (0..4).rev().find(|&i| self.q[i] <= x).unwrap_or(0)
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Nudge the three interior markers toward their desired ranks,
+        // parabolic (P²) when the adjusted height stays monotone,
+        // linear otherwise.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let parabolic = self.q[i]
+                    + s / (self.n[i + 1] - self.n[i - 1])
+                        * ((self.n[i] - self.n[i - 1] + s) * (self.q[i + 1] - self.q[i])
+                            / (self.n[i + 1] - self.n[i])
+                            + (self.n[i + 1] - self.n[i] - s) * (self.q[i] - self.q[i - 1])
+                                / (self.n[i] - self.n[i - 1]));
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    let j = if s > 0.0 { i + 1 } else { i - 1 };
+                    self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    /// The current quantile estimate: exact (nearest rank over the
+    /// buffered observations) through the fifth observation, the P²
+    /// middle marker after; `0.0` when empty.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count <= 5 {
+            return percentile_nearest_rank(&self.init, self.p * 100.0);
+        }
+        self.q[2]
+    }
+}
+
+/// A fixed-range linear-bucket histogram. Observations outside the
+/// range clamp into the edge buckets, so the total count is always the
+/// number of observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// `buckets` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// If `buckets` is zero or the range is empty or inverted.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "a histogram needs at least one bucket");
+        assert!(hi > lo, "empty histogram range [{lo}, {hi})");
+        Self { lo, hi, counts: vec![0; buckets], total: 0 }
+    }
+
+    /// Folds one observation in (clamping into the edge buckets).
+    pub fn observe(&mut self, x: f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let i = ((x - self.lo) / w).floor();
+        let i = (i.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bucket counts, low bucket first.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The bucket counts as a one-line unicode sparkline.
+    #[must_use]
+    pub fn sparkline(&self) -> String {
+        let values: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        sparkline(&values)
+    }
+}
+
+/// Renders values as a unicode block-element sparkline, one glyph per
+/// value, scaled to the value range (a flat series renders mid-height).
+/// Empty input renders an empty string.
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                GLYPHS[3]
+            } else {
+                let t = ((v - lo) / span * 7.0).round() as usize;
+                GLYPHS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// The canonical display name of a pipeline stage — the same string
+/// [`SearchEvent::StageFinished`] carries (pinned against
+/// `StageSpec::instantiate().name()` by test).
+#[must_use]
+pub fn stage_name(spec: StageSpec) -> &'static str {
+    match spec {
+        StageSpec::Lfa => "lfa",
+        StageSpec::Dlsa => "dlsa",
+        StageSpec::CoccoLfa => "cocco",
+    }
+}
+
+/// Per-stage aggregate of a [`SearchEvent`] stream.
+#[derive(Debug, Clone, Default)]
+pub struct StageAgg {
+    /// `StageFinished` events observed for this stage.
+    pub finishes: u64,
+    /// Schedule evaluations attributed to this stage (deltas of the
+    /// cumulative counter between consecutive stage finishes).
+    pub evals: u64,
+    /// Best (lowest) stage cost observed.
+    pub best_cost: Option<f64>,
+    /// Wall-clock per stage finish, when the caller supplies timestamps
+    /// via [`StageBreakdown::observe_at`].
+    pub wall_ms: StreamingStats,
+}
+
+/// Per-stage timing/effort breakdown of a search, fed one
+/// [`SearchEvent`] at a time and keyed by [`StageSpec`] stage names.
+/// Stages appear in name order when iterated, so renderings are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct StageBreakdown {
+    stages: BTreeMap<String, StageAgg>,
+    /// Buffer-allocator rounds observed.
+    rounds: u64,
+    /// Cumulative-evals watermark (resets when a seed finishes — the
+    /// engine counts per session).
+    last_evals: u64,
+    /// Timestamp watermark for wall-clock attribution.
+    last_ms: Option<u64>,
+}
+
+impl StageBreakdown {
+    /// An empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in without timing (wall-clock stats stay empty).
+    pub fn observe(&mut self, ev: &SearchEvent) {
+        self.fold(ev, None);
+    }
+
+    /// Folds one event in with a caller-supplied monotonic timestamp in
+    /// milliseconds; the delta since the previous observed timestamp is
+    /// attributed to the finishing stage.
+    pub fn observe_at(&mut self, ev: &SearchEvent, now_ms: u64) {
+        self.fold(ev, Some(now_ms));
+    }
+
+    fn fold(&mut self, ev: &SearchEvent, now_ms: Option<u64>) {
+        match ev {
+            SearchEvent::RoundStarted { .. } => {
+                self.rounds += 1;
+                self.last_ms = now_ms;
+            }
+            SearchEvent::StageFinished { stage, cost, evals, .. } => {
+                let agg = self.stages.entry(stage.clone()).or_default();
+                agg.finishes += 1;
+                agg.evals += evals.saturating_sub(self.last_evals);
+                agg.best_cost =
+                    Some(agg.best_cost.map_or(*cost, |b: f64| if *cost < b { *cost } else { b }));
+                if let (Some(prev), Some(now)) = (self.last_ms, now_ms) {
+                    agg.wall_ms.observe(now.saturating_sub(prev) as f64);
+                }
+                self.last_evals = *evals;
+                self.last_ms = now_ms;
+            }
+            SearchEvent::SeedFinished { .. } => {
+                // The cumulative counter is per session; the next
+                // seed's stage events restart from zero.
+                self.last_evals = 0;
+                self.last_ms = now_ms;
+            }
+            _ => {}
+        }
+    }
+
+    /// Rounds observed.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The aggregate of one stage, if it has been observed.
+    #[must_use]
+    pub fn stage(&self, spec: StageSpec) -> Option<&StageAgg> {
+        self.stages.get(stage_name(spec))
+    }
+
+    /// All observed stages in name order.
+    pub fn stages(&self) -> impl Iterator<Item = (&str, &StageAgg)> {
+        self.stages.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_historical_convention() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_nearest_rank(&v, 50.0), 50.0);
+        assert_eq!(percentile_nearest_rank(&v, 90.0), 90.0);
+        assert_eq!(percentile_nearest_rank(&v, 99.0), 99.0);
+        assert_eq!(percentile_nearest_rank(&v, 100.0), 100.0);
+        assert_eq!(percentile_nearest_rank(&[], 50.0), 0.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 0.0), 7.0);
+    }
+
+    #[test]
+    fn streaming_stats_fold_and_merge() {
+        let mut a = StreamingStats::new();
+        assert_eq!((a.min(), a.max(), a.mean(), a.count()), (0.0, 0.0, 0.0, 0));
+        for x in [3.0, 1.0, 2.0] {
+            a.observe(x);
+        }
+        assert_eq!((a.min(), a.max(), a.sum(), a.mean()), (1.0, 3.0, 6.0, 2.0));
+
+        let mut b = StreamingStats::new();
+        b.observe(10.0);
+        a.merge(&b);
+        assert_eq!((a.min(), a.max(), a.count()), (1.0, 10.0, 4));
+        // Merging an empty aggregator is the identity.
+        a.merge(&StreamingStats::new());
+        assert_eq!((a.min(), a.max(), a.count()), (1.0, 10.0, 4));
+    }
+
+    #[test]
+    fn sample_percentiles_are_exact() {
+        let mut s = Sample::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.stats().mean(), 3.0);
+        // Pushing after a sort re-dirties the order.
+        s.push(0.5);
+        assert_eq!(s.percentile(0.0), 0.5);
+    }
+
+    #[test]
+    fn p2_is_exact_through_five_observations() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), 0.0);
+        for (i, x) in [9.0, 1.0, 7.0, 3.0, 5.0].iter().enumerate() {
+            q.observe(*x);
+            let mut sorted: Vec<f64> = [9.0, 1.0, 7.0, 3.0, 5.0][..=i].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            assert_eq!(q.estimate(), percentile_nearest_rank(&sorted, 50.0), "after {} obs", i + 1);
+        }
+    }
+
+    #[test]
+    fn p2_median_tracks_a_linear_ramp() {
+        let mut q = P2Quantile::new(0.5);
+        for i in 0..1000 {
+            q.observe(f64::from(i));
+        }
+        let est = q.estimate();
+        assert!((est - 500.0).abs() < 25.0, "median estimate {est} too far from 500");
+        assert_eq!(q.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_clamps_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 3.9, 5.0, 9.9, 42.0] {
+            h.observe(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 2]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_range() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0]), "▄▄");
+        let s = sparkline(&[0.0, 7.0]);
+        assert_eq!(s, "▁█");
+    }
+
+    #[test]
+    fn stage_names_match_the_engine() {
+        for spec in [StageSpec::Lfa, StageSpec::Dlsa, StageSpec::CoccoLfa] {
+            assert_eq!(stage_name(spec), spec.instantiate().name());
+        }
+    }
+
+    #[test]
+    fn stage_breakdown_attributes_eval_deltas_and_wall_time() {
+        let mut b = StageBreakdown::new();
+        b.observe_at(&SearchEvent::RoundStarted { round: 0, stage1_budget: 1024 }, 100);
+        b.observe_at(
+            &SearchEvent::StageFinished { round: 0, stage: "lfa".into(), cost: 5.0, evals: 10 },
+            130,
+        );
+        b.observe_at(
+            &SearchEvent::StageFinished { round: 0, stage: "dlsa".into(), cost: 4.0, evals: 25 },
+            170,
+        );
+        b.observe_at(
+            &SearchEvent::SeedFinished { seed: 7, cost: 4.0, evals: 25, rejected: 0 },
+            170,
+        );
+        // Second seed: the cumulative counter restarts.
+        b.observe_at(&SearchEvent::RoundStarted { round: 0, stage1_budget: 1024 }, 200);
+        b.observe_at(
+            &SearchEvent::StageFinished { round: 0, stage: "lfa".into(), cost: 6.0, evals: 8 },
+            210,
+        );
+
+        assert_eq!(b.rounds(), 2);
+        let lfa = b.stage(StageSpec::Lfa).unwrap();
+        assert_eq!((lfa.finishes, lfa.evals), (2, 18));
+        assert_eq!(lfa.best_cost, Some(5.0));
+        assert_eq!((lfa.wall_ms.min(), lfa.wall_ms.max()), (10.0, 30.0));
+        let dlsa = b.stage(StageSpec::Dlsa).unwrap();
+        assert_eq!((dlsa.finishes, dlsa.evals), (1, 15));
+        assert!(b.stage(StageSpec::CoccoLfa).is_none());
+        let names: Vec<&str> = b.stages().map(|(n, _)| n).collect();
+        assert_eq!(names, ["dlsa", "lfa"], "name order, deterministic");
+    }
+}

@@ -92,6 +92,9 @@ struct Shared {
     panics: AtomicU64,
     /// Corrupt rows quarantined when the ledger loaded (fixed at start).
     quarantined: u64,
+    /// When the daemon started accepting connections — the `uptime_ms`
+    /// gauge in stats frames measures from here.
+    started: Instant,
     stop: AtomicBool,
     draining: AtomicBool,
     parallelism: Parallelism,
@@ -120,6 +123,7 @@ impl Shared {
             cancelled: self.cancelled.load(Ordering::SeqCst),
             panics: self.panics.load(Ordering::SeqCst),
             quarantined: self.quarantined,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
         }
     }
 }
@@ -205,6 +209,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         cancelled: AtomicU64::new(0),
         panics: AtomicU64::new(0),
         quarantined: health.quarantined as u64,
+        started: Instant::now(),
         stop: AtomicBool::new(false),
         draining: AtomicBool::new(false),
         parallelism: config.parallelism,

@@ -88,6 +88,13 @@ fn eight_concurrent_submits_then_bit_identical_cache_hits() {
     assert_eq!(stats.served, 9);
     assert_eq!(stats.cache_hits, 1);
     assert_eq!(stats.ledger_rows, 8);
+    assert_eq!(stats.inflight, 0, "all submits have released their permits");
+    assert!(stats.uptime_ms > 0, "uptime gauge must tick (9 searches ran)");
+    // The same gauges over the wire: the stats frame a monitoring
+    // client sees carries them too.
+    let wire = client.stats().unwrap();
+    assert_eq!(wire.inflight, 0);
+    assert!(wire.uptime_ms >= stats.uptime_ms, "uptime is monotonic across polls");
     handle.shutdown();
 
     // The cache survived on disk, one clean row per distinct request.

@@ -1,0 +1,64 @@
+//! Golden snapshot for the Gantt renderer: the full chart for a fixed
+//! (network, encoding, hardware) triple is compared **byte-for-byte**
+//! against `tests/golden/fig2_edge_unfused.gantt.txt`.
+//!
+//! The chart is the observability surface `watch`'s drill-down and the
+//! `run --gantt` path both print; pinning its exact bytes catches both
+//! renderer drift *and* simulator drift (the block positions are a
+//! projection of the timeline).
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! SOMA_BLESS=1 cargo test -p soma-sim --test golden_gantt
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use soma_arch::HardwareConfig;
+use soma_core::{Encoding, Lfa, ParsedSchedule};
+use soma_model::zoo;
+use soma_sim::{render_gantt, simulate, CoreArrayModel};
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn bless() -> bool {
+    std::env::var_os("SOMA_BLESS").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn assert_golden(got: &str, golden: &str) {
+    let path = golden_path(golden);
+    if bless() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, got).expect("bless golden");
+        eprintln!("[golden] blessed {}", path.display());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with SOMA_BLESS=1 cargo test -p soma-sim \
+             --test golden_gantt",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "{golden} drifted from its committed snapshot.\n--- committed ---\n{want}\n--- got ---\n\
+         {got}\nIf the change is intentional, rebless with SOMA_BLESS=1.",
+    );
+}
+
+#[test]
+fn gantt_snapshot_fig2_edge_unfused() {
+    let net = zoo::fig2(1);
+    let sched = ParsedSchedule::new(&net, &Encoding::from_lfa(Lfa::unfused(&net, 2)))
+        .expect("unfused LFA always parses");
+    let hw = HardwareConfig::edge();
+    let mut model = CoreArrayModel::new(&hw);
+    let tl = simulate(&sched.plan, &sched.dlsa, &hw, &mut model).expect("schedule simulates");
+    let chart = render_gantt(&net, &sched, &tl, 60);
+    assert_golden(&chart, "fig2_edge_unfused.gantt.txt");
+}

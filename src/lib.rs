@@ -19,6 +19,10 @@
 //! * [`serve`] — scheduling-as-a-service: the line-delimited JSON
 //!   protocol, admission control, the daemon with its ledger-backed
 //!   result cache, and a reference client.
+//! * [`obs`] — campaign observability: the streaming stats engine
+//!   (percentiles, histograms, per-stage breakdowns), the
+//!   machine-readable [`CampaignSummary`](obs::CampaignSummary) CI
+//!   artifact, and the render model behind the `watch` TUI.
 //!
 //! # Quickstart
 //!
@@ -38,6 +42,7 @@
 pub use soma_arch as arch;
 pub use soma_core as core;
 pub use soma_model as model;
+pub use soma_obs as obs;
 pub use soma_search as search;
 pub use soma_serve as serve;
 pub use soma_sim as sim;
