@@ -10,8 +10,10 @@
 //! Stdout carries the same CSV the `run` binary prints (byte-identical
 //! for the same spec — pinned by the golden tests); commentary and the
 //! per-cell `LabEvent` stream go to stderr. Results are keyed into the
-//! **run ledger** (default `target/lab/<experiment-name>.jsonl`, or
-//! `--ledger <path>`): a rerun of an unchanged spec performs zero search
+//! **run ledger** (default `target/lab/<experiment-name>.ledger`, a
+//! binary shard directory; `--ledger-format json` switches the default
+//! to the JSONL debug surface, and `--ledger <path>` picks an explicit
+//! location): a rerun of an unchanged spec performs zero search
 //! work, an interrupted run resumes from the last completed cell, and
 //! editing the spec's search configuration invalidates exactly the
 //! affected cells (the key hashes scenario id, resolved hardware, full
@@ -44,8 +46,8 @@ use soma_spec::read_experiment;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lab <experiment.soma> [--ledger <path>] [--require-hits] \
-         [--threads <auto|seq|N>] [--summary <out.json>] [--version]"
+        "usage: lab <experiment.soma> [--ledger <path>] [--ledger-format <binary|json>] \
+         [--require-hits] [--threads <auto|seq|N>] [--summary <out.json>] [--version]"
     );
     ExitCode::from(2)
 }
@@ -65,6 +67,7 @@ fn main() -> ExitCode {
     let mut ledger_path: Option<PathBuf> = None;
     let mut summary_path: Option<PathBuf> = None;
     let mut require_hits = false;
+    let mut json_ledger = false;
     let mut threads_flag: Option<Parallelism> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +75,11 @@ fn main() -> ExitCode {
             "--ledger" => match args.next() {
                 Some(p) => ledger_path = Some(PathBuf::from(p)),
                 None => return usage(),
+            },
+            "--ledger-format" => match args.next().as_deref() {
+                Some("binary") => json_ledger = false,
+                Some("json") => json_ledger = true,
+                _ => return usage(),
             },
             "--summary" => match args.next() {
                 Some(p) => summary_path = Some(PathBuf::from(p)),
@@ -113,8 +121,14 @@ fn main() -> ExitCode {
     if let Some(par) = threads_flag {
         spec.parallelism = par;
     }
-    let ledger = ledger_path
-        .unwrap_or_else(|| PathBuf::from("target/lab").join(format!("{}.jsonl", spec.name)));
+    // Default is the binary sharded ledger (`<name>.ledger` directory).
+    // `--ledger-format json` keeps the human-greppable JSONL debug
+    // surface; an explicit `--ledger` path wins either way, with its
+    // format detected from what exists (or the `.jsonl` extension).
+    let ledger = ledger_path.unwrap_or_else(|| {
+        let ext = if json_ledger { "jsonl" } else { "ledger" };
+        PathBuf::from("target/lab").join(format!("{}.{ext}", spec.name))
+    });
 
     eprintln!(
         "[lab] {}: {} cell(s), {} seed(s), effort {}, threads {}, ledger {}",

@@ -1,0 +1,127 @@
+//! Ledger toolbox: inspect, migrate and compact run ledgers without
+//! running a campaign.
+//!
+//! ```sh
+//! # Inspect: format, row count, health, per-shard breakdown. Always a
+//! # read-only load — `stat` on a live campaign is safe.
+//! cargo run --release -p soma-bench --bin ledger -- stat target/lab/fig2.ledger
+//!
+//! # Migrate between formats (v1/v2 JSONL <-> binary v3). The target
+//! # must not exist; the source is never touched.
+//! cargo run --release -p soma-bench --bin ledger -- \
+//!     migrate target/lab/fig2.jsonl target/lab/fig2.ledger
+//!
+//! # Compact in place: drop shadowed duplicate-hash rows and rows from
+//! # stale engine versions, rewrite shards, rebuild the index.
+//! cargo run --release -p soma-bench --bin ledger -- compact target/lab/fig2.ledger
+//! ```
+//!
+//! Exit codes: `0` ok, `2` usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use soma_bench::lab::Ledger;
+use soma_spec::LedgerFormat;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ledger stat <path> | ledger migrate <src> <dst> | ledger compact <path> \
+         | ledger --version"
+    );
+    ExitCode::from(2)
+}
+
+fn stat(path: &Path) -> ExitCode {
+    let ledger = match Ledger::load_readonly(path) {
+        Ok(ledger) => ledger,
+        Err(e) => {
+            eprintln!("ledger: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let h = ledger.health();
+    println!("ledger:     {}", path.display());
+    println!("format:     {}", ledger.format());
+    println!("rows:       {}", ledger.len());
+    println!(
+        "health:     {} kept, {} quarantined, truncated: {}, {} duplicate(s)",
+        h.kept, h.quarantined, h.truncated, h.duplicates
+    );
+    if ledger.format() == LedgerFormat::Binary {
+        for (shard, sh) in ledger.shard_healths().iter().enumerate() {
+            if sh.kept == 0 && sh.quarantined == 0 && !sh.truncated {
+                continue;
+            }
+            println!(
+                "shard-{shard:x}:    {} kept, {} quarantined, truncated: {}",
+                sh.kept, sh.quarantined, sh.truncated
+            );
+        }
+    }
+    if !h.is_clean() {
+        println!("quarantine: {}", soma_spec::quarantine_path(path).display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn migrate(src: &Path, dst: &Path) -> ExitCode {
+    match Ledger::migrate(src, dst) {
+        Ok(stats) => {
+            eprintln!(
+                "[ledger] migrated {} row(s): {} ({}) -> {} ({})",
+                stats.rows,
+                src.display(),
+                stats.from,
+                dst.display(),
+                stats.to
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ledger: migrate {} -> {}: {e}", src.display(), dst.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn compact(path: &Path) -> ExitCode {
+    let mut ledger = match Ledger::load(path) {
+        Ok(ledger) => ledger,
+        Err(e) => {
+            eprintln!("ledger: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match ledger.compact() {
+        Ok(stats) => {
+            eprintln!(
+                "[ledger] compacted {}: {} kept, {} duplicate(s) dropped, \
+                 {} stale-engine row(s) dropped",
+                path.display(),
+                stats.kept,
+                stats.dropped_duplicates,
+                stats.dropped_stale_engine
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ledger: compact {}: {e}", path.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        println!("{}", soma_bench::version_line("ledger"));
+        return ExitCode::SUCCESS;
+    }
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["stat", path] => stat(Path::new(path)),
+        ["migrate", src, dst] => migrate(Path::new(src), Path::new(dst)),
+        ["compact", path] => compact(Path::new(path)),
+        _ => usage(),
+    }
+}

@@ -3,21 +3,26 @@
 //!
 //! ```sh
 //! # Replay a finished campaign: final cell grid, hit-rate line,
-//! # per-scenario best-cost table.
-//! cargo run --release -p soma-bench --bin watch -- target/lab/fig-pair-edge.jsonl
+//! # per-scenario best-cost table. The ledger may be a binary shard
+//! # directory (`<name>.ledger`) or a JSONL file (`<name>.jsonl`).
+//! cargo run --release -p soma-bench --bin watch -- target/lab/fig-pair-edge.ledger
 //!
 //! # Attach to a running lab: ANSI repaint loop tailing the ledger.
 //! # Type a scenario id (or a unique hash prefix) + Enter for the
 //! # cell's Gantt drill-down; `q` + Enter quits.
 //! cargo run --release -p soma-bench --bin watch -- \
-//!     target/lab/fig-pair-edge.jsonl --follow --spec specs/fig_pair_edge.soma
+//!     target/lab/fig-pair-edge.ledger --follow --spec specs/fig_pair_edge.soma
 //!
 //! # CI: headless replay + machine-readable campaign summary
 //! # (specs/SUMMARY.md), with an optional best-cost trend gate.
 //! cargo run --release -p soma-bench --bin watch -- \
-//!     target/lab/fig-pair-edge.jsonl --headless --summary out/summary.json \
+//!     target/lab/fig-pair-edge.ledger --headless --summary out/summary.json \
 //!     --check-baseline ci/summary.baseline.json --tolerance 0.05
 //! ```
+//!
+//! Every load here is **read-only** ([`Ledger::load_readonly`]): watch
+//! is an observer, and an observer racing a live writer must never
+//! repair — or even touch — the ledger's bytes.
 //!
 //! The frame is a pure function of the ledger contents
 //! (`soma_obs::WatchModel`): replaying a finished ledger renders
@@ -41,7 +46,7 @@ use soma_spec::read_experiment;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: watch <ledger.jsonl> [--follow] [--headless] [--spec <experiment.soma>] \
+        "usage: watch <ledger> [--follow] [--headless] [--spec <experiment.soma>] \
          [--summary <out.json>] [--name <campaign>] [--gantt <cell-id|hash-prefix>] \
          [--width N] [--interval-ms N] [--check-baseline <summary.json>] [--tolerance F] \
          [--version]"
@@ -221,7 +226,9 @@ fn main() -> ExitCode {
 /// One-shot mode: load the ledger once, render the final frame, then
 /// handle `--gantt`, `--summary` and the trend gate.
 fn replay(flags: &Flags, spec: Option<&soma_spec::ExperimentSpec>, name: &str) -> ExitCode {
-    let ledger = match Ledger::load(&flags.ledger) {
+    // Observers never repair: a read-only load tolerates damage in
+    // memory and leaves the file bytes to the writer that owns them.
+    let ledger = match Ledger::load_readonly(&flags.ledger) {
         Ok(ledger) => ledger,
         Err(e) => {
             eprintln!("watch: {}: {e}", flags.ledger.display());
@@ -308,7 +315,11 @@ fn follow(flags: &Flags, spec: Option<&soma_spec::ExperimentSpec>) -> ExitCode {
     let mut last_frame = String::new();
     let mut notice = String::new();
     loop {
-        let ledger = match Ledger::load(&flags.ledger) {
+        // A live campaign is appending to this file *right now*. A
+        // writable load here could race the writer's half-flushed tail
+        // and "repair" it away — follow mode must never mutate the
+        // ledger, so every repaint is a read-only load.
+        let ledger = match Ledger::load_readonly(&flags.ledger) {
             Ok(ledger) => ledger,
             Err(e) => {
                 eprintln!("watch: {}: {e}", flags.ledger.display());

@@ -216,11 +216,12 @@ pub fn run_lab_chaos(
 ) -> io::Result<LabSummary> {
     let cells = spec.cells();
     let keys: Vec<String> = cells.iter().map(|c| cell_key(c, &spec.config, &spec.seeds)).collect();
-    let mut ledger = Ledger::load(ledger_path)?;
+    // Probe read-only first: a pure replay (every cell already done —
+    // the `--require-hits` gate, a `watch`ed campaign being re-checked)
+    // must never write, truncate or quarantine anything, even when the
+    // ledger is damaged or another process is mid-append.
+    let mut ledger = Ledger::load_readonly(ledger_path)?;
     let health = ledger.health();
-    if let Some(plan) = &faults {
-        ledger.inject_faults(Arc::clone(plan));
-    }
 
     for (cell, key) in cells.iter().zip(&keys) {
         observer(&LabEvent::Queued { cell: cell.id.clone(), hash: key.clone() });
@@ -238,7 +239,9 @@ pub fn run_lab_chaos(
     let mut first_claim: HashMap<&str, usize> = HashMap::new();
     for (i, (cell, key)) in cells.iter().zip(&keys).enumerate() {
         if let Some(row) = ledger.lookup(key) {
-            outcomes[i] = Some(row.outcome.clone());
+            // A lazy row whose payload is corrupt decodes to `None`
+            // and simply counts as a miss (the cell re-searches).
+            outcomes[i] = row.outcome().cloned();
             observer(&LabEvent::Cached { cell: cell.id.clone(), hash: key.clone() });
         } else if let Some(&first) = first_claim.get(key.as_str()) {
             duplicates.push((i, first));
@@ -249,6 +252,16 @@ pub fn run_lab_chaos(
         }
     }
     let hits = cells.len() - misses.len();
+
+    if !misses.is_empty() {
+        // There is work to append, so this run is a writer: reload in
+        // repairing mode (fixing any damage the probe tolerated)
+        // before the first append.
+        ledger = Ledger::load(ledger_path)?;
+        if let Some(plan) = &faults {
+            ledger.inject_faults(Arc::clone(plan));
+        }
+    }
 
     // Fan the misses out. Events flow live through the shared flush
     // state — `Started` as each job begins (execution order), `Finished`
@@ -340,6 +353,11 @@ pub fn run_lab_chaos(
     let failed = state.failed;
     let appended = state.appended;
     let stopped = flushed < misses.len();
+    if appended > 0 {
+        // Refresh the index sidecar so the next load of a binary
+        // ledger is O(cells-missing), not a full-shard scan.
+        ledger.sync_index()?;
+    }
 
     for item in finished.into_iter().flatten() {
         let (miss_pos, cell_idx, outcome) = item;
@@ -399,7 +417,8 @@ mod tests {
         assert_eq!(row.cell, "fig2@edge/b1");
         assert_eq!(row.workload, "fig2");
         assert_eq!(row.batch, 1);
-        assert_eq!(row.outcome.best.cost.to_bits(), first.rows[0].outcome.best.cost.to_bits());
+        let row_out = row.outcome().expect("resident outcome");
+        assert_eq!(row_out.best.cost.to_bits(), first.rows[0].outcome.best.cost.to_bits());
         // Line rendering is stable through a parse cycle.
         let line = row.to_line();
         assert_eq!(LedgerRow::from_line(&line).unwrap().to_line(), line);

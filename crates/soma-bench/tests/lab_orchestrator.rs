@@ -92,8 +92,9 @@ fn lab_matches_sequential_run_experiment_bit_for_bit() {
         assert_eq!(row.cell.workload, led.workload);
         assert_eq!(row.cell.platform, led.platform);
         assert_eq!(row.cell.batch, led.batch);
-        assert_evaluated_eq(&led.cell, "ledger best", &row.outcome.best, &led.outcome.best);
-        assert_evaluated_eq(&led.cell, "ledger stage1", &row.outcome.stage1, &led.outcome.stage1);
+        let led_out = led.outcome().expect("ledger outcome decodes");
+        assert_evaluated_eq(&led.cell, "ledger best", &row.outcome.best, &led_out.best);
+        assert_evaluated_eq(&led.cell, "ledger stage1", &row.outcome.stage1, &led_out.stage1);
     }
 
     // And the warm (all-cached) pass replays the identical rows.

@@ -29,7 +29,12 @@ pub fn gantt_for_row(row: &LedgerRow, width: usize) -> Result<String, String> {
         )
     })?;
     let net = scenario.network();
-    let sched = ParsedSchedule::new(&net, &row.outcome.best.encoding)
+    // Binary ledger rows decode their outcome lazily — the drill-down
+    // is the first (and only) consumer that needs the full timeline.
+    let outcome = row
+        .outcome()
+        .ok_or_else(|| format!("row `{}` has a corrupt outcome payload on disk", row.cell))?;
+    let sched = ParsedSchedule::new(&net, &outcome.best.encoding)
         .map_err(|e| format!("persisted encoding no longer parses: {e}"))?;
-    Ok(soma_sim::render_gantt(&net, &sched, &row.outcome.best.report.timeline, width))
+    Ok(soma_sim::render_gantt(&net, &sched, &outcome.best.report.timeline, width))
 }

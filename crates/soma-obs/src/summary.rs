@@ -46,9 +46,9 @@ impl CellOutcome {
     pub fn from_row(row: &LedgerRow) -> Self {
         Self {
             scenario: row.cell.clone(),
-            cost: row.outcome.best.cost,
-            latency_cycles: row.outcome.best.report.latency_cycles,
-            evals: row.outcome.evals,
+            cost: row.best_cost,
+            latency_cycles: row.latency_cycles,
+            evals: row.evals,
         }
     }
 }

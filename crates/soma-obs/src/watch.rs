@@ -141,9 +141,9 @@ impl WatchModel {
     pub fn observe_row(&mut self, row: &LedgerRow) {
         let slot = self.slot_by_hash(&row.cell, &row.hash);
         slot.state = CellState::Finished;
-        slot.cost = Some(row.outcome.best.cost);
-        slot.latency_cycles = Some(row.outcome.best.report.latency_cycles);
-        slot.evals = Some(row.outcome.evals);
+        slot.cost = Some(row.best_cost);
+        slot.latency_cycles = Some(row.latency_cycles);
+        slot.evals = Some(row.evals);
     }
 
     /// State counts: `(queued, running, cached, finished, failed)`.

@@ -52,8 +52,11 @@
 //!   (`Auto | Fixed(n) | Sequential`) threaded through every parallel
 //!   region in the workspace; results are bit-identical across variants.
 //! * [`allocator`] — the outcome type and the blocking [`schedule`] shim.
-//! * [`record`] — lossless, deterministic [`SearchOutcome`] ⇄ JSON
-//!   conversion for the experiment run ledger, plus [`ENGINE_VERSION`].
+//! * [`record`] — lossless, deterministic [`SearchOutcome`] ⇄ JSON and
+//!   ⇄ binary conversion for the experiment run ledger, plus
+//!   [`ENGINE_VERSION`].
+//! * [`wire`] — the byte-level primitives (varints, bit-exact floats,
+//!   length-prefixed strings) under the binary ledger frames.
 //! * [`cocco`] — the restricted baseline: FLC set == DRAM cut set,
 //!   KC-parallelism heuristic tiling, double-buffer DLSA.
 //! * [`sweep`] — design-space exploration grids over hardware points.
@@ -69,6 +72,7 @@ pub mod sa;
 pub mod session;
 pub mod stage;
 pub mod sweep;
+pub mod wire;
 
 pub use allocator::{schedule, SearchOutcome};
 pub use cocco::{cocco_tiling, schedule_cocco, CoccoStage};
@@ -76,7 +80,10 @@ pub use dlsa_stage::{DlsaEditor, DlsaMove, DlsaStage, SizeWeightedPicker};
 pub use lfa_stage::LfaStage;
 pub use objective::{CostWeights, Evaluated, Objective};
 pub use parallelism::Parallelism;
-pub use record::{outcome_from_str, outcome_to_string, RecordError, ENGINE_VERSION};
+pub use record::{
+    outcome_from_bytes, outcome_from_str, outcome_to_bytes, outcome_to_string, synthetic_outcome,
+    RecordError, ENGINE_VERSION,
+};
 pub use sa::{anneal, anneal_inplace, AnnealState, SaResult, SaSchedule};
 pub use session::{Cancelled, Scheduler, SearchEvent, SearchSession, StepOutcome};
 pub use stage::{RoundCtx, SearchStage, StageArtifact, StageSpec};

@@ -1,14 +1,22 @@
-//! Persistence of search results: [`SearchOutcome`] ⇄ JSON, for the
-//! experiment run ledger (`soma-bench --bin lab`).
+//! Persistence of search results: [`SearchOutcome`] ⇄ JSON **and**
+//! ⇄ compact binary, for the experiment run ledger
+//! (`soma-bench --bin lab`).
 //!
-//! The conversion is **lossless and deterministic**: every field of the
-//! outcome — schemes, full evaluation reports including the exact
+//! Both conversions are **lossless and deterministic**: every field of
+//! the outcome — schemes, full evaluation reports including the exact
 //! timeline, and the `f64` cost/energy values bit-for-bit (via the
-//! vendored serde facade's round-trip-exact float rendering) — survives
-//! `outcome_from_json(parse(to_string(outcome_to_json(o))))`, and equal
-//! outcomes always render to byte-identical JSON. That is what lets a
-//! ledger hit replace a search without perturbing a single downstream
-//! byte (CSV rows, envelope bests, resumed ledgers).
+//! vendored serde facade's round-trip-exact float rendering, and the
+//! raw IEEE-754 bit pattern on the binary side) — survives
+//! `outcome_from_json(parse(to_string(outcome_to_json(o))))` and
+//! `outcome_from_bytes(&outcome_to_bytes(o))`, and equal outcomes
+//! always render byte-identically. That is what lets a ledger hit
+//! replace a search without perturbing a single downstream byte (CSV
+//! rows, envelope bests, resumed ledgers), and what makes the v2 JSONL
+//! → v3 binary ledger migration an identity on the rows.
+//!
+//! JSON is the human-readable debug surface (`lab --ledger-format
+//! json`, quarantine sidecars); binary is the default on-disk frame
+//! payload of ledger format v3 (`specs/LEDGER.md`).
 
 use serde::json::{self, Value};
 use soma_core::{Dlsa, Encoding, Lfa};
@@ -18,6 +26,7 @@ use soma_sim::{EnergyBreakdown, EvalReport, Timeline};
 use crate::allocator::SearchOutcome;
 use crate::objective::Evaluated;
 use crate::session::SearchEvent;
+use crate::wire::{self, Reader, WireError};
 
 /// Version tag of the search/evaluation engine, hashed into ledger cell
 /// keys. Bump whenever a change alters what any search returns at a
@@ -324,6 +333,217 @@ pub fn event_from_json(v: &Value) -> Result<SearchEvent, RecordError> {
     }
 }
 
+fn lfa_to_bytes(buf: &mut Vec<u8>, lfa: &Lfa) {
+    wire::put_varint_vec(buf, lfa.order.iter().map(|id| u64::from(id.0)));
+    wire::put_varint_vec(buf, lfa.flc.iter().map(|&p| p as u64));
+    wire::put_varint_vec(buf, lfa.tiling.iter().map(|&t| u64::from(t)));
+    wire::put_varint_vec(buf, lfa.dram_cuts.iter().map(|&p| p as u64));
+}
+
+fn lfa_from_reader(r: &mut Reader<'_>) -> Result<Lfa, WireError> {
+    let u32s = |items: Vec<u64>, what: &str| -> Result<Vec<u32>, WireError> {
+        items
+            .into_iter()
+            .map(|n| u32::try_from(n).map_err(|_| WireError::new(format!("`{what}` exceeds u32"))))
+            .collect()
+    };
+    Ok(Lfa {
+        order: u32s(r.varint_vec()?, "order")?.into_iter().map(LayerId).collect(),
+        flc: r.varint_vec()?.into_iter().map(|n| n as usize).collect(),
+        tiling: u32s(r.varint_vec()?, "tiling")?,
+        dram_cuts: r.varint_vec()?.into_iter().map(|n| n as usize).collect(),
+    })
+}
+
+fn encoding_to_bytes(buf: &mut Vec<u8>, enc: &Encoding) {
+    lfa_to_bytes(buf, &enc.lfa);
+    match &enc.dlsa {
+        None => buf.push(0),
+        Some(dlsa) => {
+            buf.push(1);
+            wire::put_varint_vec(buf, dlsa.order.iter().map(|&v| u64::from(v)));
+            wire::put_varint_vec(buf, dlsa.start.iter().map(|&v| u64::from(v)));
+            wire::put_varint_vec(buf, dlsa.end.iter().map(|&v| u64::from(v)));
+        }
+    }
+}
+
+fn encoding_from_reader(r: &mut Reader<'_>) -> Result<Encoding, WireError> {
+    let lfa = lfa_from_reader(r)?;
+    let u32s = |items: Vec<u64>| -> Result<Vec<u32>, WireError> {
+        items
+            .into_iter()
+            .map(|n| u32::try_from(n).map_err(|_| WireError::new("dlsa element exceeds u32")))
+            .collect()
+    };
+    let dlsa = match r.u8()? {
+        0 => None,
+        1 => Some(Dlsa {
+            order: u32s(r.varint_vec()?)?,
+            start: u32s(r.varint_vec()?)?,
+            end: u32s(r.varint_vec()?)?,
+        }),
+        tag => return Err(WireError::new(format!("bad dlsa tag {tag}"))),
+    };
+    Ok(Encoding { lfa, dlsa })
+}
+
+fn report_to_bytes(buf: &mut Vec<u8>, rep: &EvalReport) {
+    wire::put_varint(buf, rep.latency_cycles);
+    wire::put_f64(buf, rep.energy.core_pj);
+    wire::put_f64(buf, rep.energy.dram_pj);
+    wire::put_f64(buf, rep.compute_util);
+    wire::put_f64(buf, rep.dram_util);
+    wire::put_f64(buf, rep.theoretical_max_util);
+    wire::put_varint(buf, rep.peak_buffer);
+    wire::put_varint(buf, rep.avg_buffer);
+    wire::put_varint(buf, rep.dram_bytes);
+    wire::put_varint_vec(buf, rep.timeline.tensor_start.iter().copied());
+    wire::put_varint_vec(buf, rep.timeline.tensor_end.iter().copied());
+    wire::put_varint_vec(buf, rep.timeline.tile_start.iter().copied());
+    wire::put_varint_vec(buf, rep.timeline.tile_end.iter().copied());
+    wire::put_varint(buf, rep.timeline.latency);
+    wire::put_varint(buf, rep.timeline.dram_busy);
+    wire::put_varint(buf, rep.timeline.compute_busy);
+}
+
+fn report_from_reader(r: &mut Reader<'_>) -> Result<EvalReport, WireError> {
+    Ok(EvalReport {
+        latency_cycles: r.varint()?,
+        energy: EnergyBreakdown { core_pj: r.f64()?, dram_pj: r.f64()? },
+        compute_util: r.f64()?,
+        dram_util: r.f64()?,
+        theoretical_max_util: r.f64()?,
+        peak_buffer: r.varint()?,
+        avg_buffer: r.varint()?,
+        dram_bytes: r.varint()?,
+        timeline: Timeline {
+            tensor_start: r.varint_vec()?,
+            tensor_end: r.varint_vec()?,
+            tile_start: r.varint_vec()?,
+            tile_end: r.varint_vec()?,
+            latency: r.varint()?,
+            dram_busy: r.varint()?,
+            compute_busy: r.varint()?,
+        },
+    })
+}
+
+fn evaluated_to_bytes(buf: &mut Vec<u8>, e: &Evaluated) {
+    encoding_to_bytes(buf, &e.encoding);
+    report_to_bytes(buf, &e.report);
+    wire::put_f64(buf, e.cost);
+}
+
+fn evaluated_from_reader(r: &mut Reader<'_>) -> Result<Evaluated, WireError> {
+    Ok(Evaluated {
+        encoding: encoding_from_reader(r)?,
+        report: report_from_reader(r)?,
+        cost: r.f64()?,
+    })
+}
+
+/// Renders an outcome as its compact binary form — the frame payload
+/// of ledger format v3. Same contract as [`outcome_to_json`]: lossless
+/// (floats travel as their IEEE-754 bit pattern) and deterministic
+/// (equal outcomes encode byte-identically).
+pub fn outcome_to_bytes(out: &SearchOutcome) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    evaluated_to_bytes(&mut buf, &out.stage1);
+    evaluated_to_bytes(&mut buf, &out.best);
+    wire::put_varint(&mut buf, out.allocator_iters as u64);
+    wire::put_varint(&mut buf, out.evals);
+    wire::put_varint(&mut buf, out.rejected);
+    buf
+}
+
+/// Reconstructs an outcome from [`outcome_to_bytes`]'s rendering.
+///
+/// # Errors
+///
+/// [`RecordError`] on truncated, corrupt or trailing bytes — damage is
+/// a quarantinable error, never a panic.
+pub fn outcome_from_bytes(bytes: &[u8]) -> Result<SearchOutcome, RecordError> {
+    let mut r = Reader::new(bytes);
+    let out = (|| -> Result<SearchOutcome, WireError> {
+        Ok(SearchOutcome {
+            stage1: evaluated_from_reader(&mut r)?,
+            best: evaluated_from_reader(&mut r)?,
+            allocator_iters: r.varint()? as usize,
+            evals: r.varint()?,
+            rejected: r.varint()?,
+        })
+    })()
+    .map_err(|e| RecordError::new(e.msg.clone()))?;
+    r.finish().map_err(|e| RecordError::new(e.msg))?;
+    Ok(out)
+}
+
+/// A deterministic synthetic [`SearchOutcome`] for scale tests and
+/// benchmarks: realistic shape (explicit DLSA, `tiles`-entry timeline)
+/// without paying for a real search. Pure function of `(seed, tiles)`
+/// — equal arguments yield byte-identical renderings in both codecs.
+pub fn synthetic_outcome(seed: u64, tiles: usize) -> SearchOutcome {
+    // Small deterministic mixer so fields vary with the seed without
+    // any RNG dependency.
+    let mix = |salt: u64| -> u64 {
+        let mut h = seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        h
+    };
+    let layers = 3 + (mix(1) % 4) as usize;
+    let lfa = Lfa {
+        order: (0..layers as u32).map(LayerId).collect(),
+        flc: [0, layers].into_iter().collect(),
+        tiling: (0..layers as u32).map(|i| 1 + (mix(u64::from(i) + 2) % 8) as u32).collect(),
+        dram_cuts: [0, layers].into_iter().collect(),
+    };
+    let dlsa = Dlsa {
+        order: (0..layers as u32).collect(),
+        start: vec![0; layers],
+        end: vec![tiles as u32; layers],
+    };
+    let timeline = Timeline {
+        tensor_start: (0..tiles as u64).map(|i| i * 10).collect(),
+        tensor_end: (0..tiles as u64).map(|i| i * 10 + 7).collect(),
+        tile_start: (0..tiles as u64).map(|i| i * 10 + 1).collect(),
+        tile_end: (0..tiles as u64).map(|i| i * 10 + 9).collect(),
+        latency: tiles as u64 * 10 + 9,
+        dram_busy: tiles as u64 * 7,
+        compute_busy: tiles as u64 * 8,
+    };
+    let report = EvalReport {
+        latency_cycles: tiles as u64 * 10 + 9,
+        energy: EnergyBreakdown {
+            core_pj: (mix(3) % 1_000_000) as f64 / 3.0,
+            dram_pj: (mix(4) % 1_000_000) as f64 / 7.0,
+        },
+        compute_util: (mix(5) % 1000) as f64 / 1000.0,
+        dram_util: (mix(6) % 1000) as f64 / 1000.0,
+        theoretical_max_util: 0.875,
+        peak_buffer: mix(7) % (1 << 20),
+        avg_buffer: mix(8) % (1 << 19),
+        dram_bytes: mix(9) % (1 << 30),
+        timeline,
+    };
+    let best = Evaluated {
+        encoding: Encoding { lfa: lfa.clone(), dlsa: Some(dlsa) },
+        cost: (mix(10) % 1_000_000) as f64 / 11.0 + 1.0,
+        report: report.clone(),
+    };
+    let stage1 =
+        Evaluated { encoding: Encoding { lfa, dlsa: None }, cost: best.cost * 1.25, report };
+    SearchOutcome {
+        stage1,
+        best,
+        allocator_iters: 1 + (mix(11) % 7) as usize,
+        evals: 100 + mix(12) % 10_000,
+        rejected: mix(13) % 100,
+    }
+}
+
 /// [`outcome_to_json`] straight to a compact single-line JSON string.
 pub fn outcome_to_string(out: &SearchOutcome) -> String {
     json::to_string(&outcome_to_json(out))
@@ -420,6 +640,55 @@ mod tests {
         assert!(e.to_string().contains("unknown event tag `warp_drive`"), "{e}");
         let missing = json::parse("{\"event\":\"new_best\",\"round\":1}").unwrap();
         assert!(event_from_json(&missing).is_err(), "missing fields are errors");
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_for_bit() {
+        let net = zoo::fig4(1);
+        let hw = HardwareConfig::edge();
+        let cfg = SearchConfig { effort: 0.05, seed: 3, ..SearchConfig::default() };
+        let out = Scheduler::new(&net, &hw).config(cfg).run();
+        assert!(out.best.encoding.dlsa.is_some(), "stage 2 schedules the DLSA explicitly");
+
+        let bytes = outcome_to_bytes(&out);
+        let back = outcome_from_bytes(&bytes).expect("own rendering decodes");
+        assert_evaluated_eq(&out.stage1, &back.stage1);
+        assert_evaluated_eq(&out.best, &back.best);
+        assert_eq!(out.allocator_iters, back.allocator_iters);
+        assert_eq!(out.evals, back.evals);
+        assert_eq!(out.rejected, back.rejected);
+        // Deterministic: re-encoding the reconstruction is byte-identical.
+        assert_eq!(outcome_to_bytes(&back), bytes);
+        // And the two codecs agree: binary → JSON matches direct JSON.
+        assert_eq!(outcome_to_string(&back), outcome_to_string(&out));
+    }
+
+    #[test]
+    fn binary_damage_is_an_error_not_a_panic() {
+        let out = synthetic_outcome(7, 12);
+        let bytes = outcome_to_bytes(&out);
+        assert!(outcome_from_bytes(&[]).is_err());
+        assert!(outcome_from_bytes(&bytes[..bytes.len() / 2]).is_err(), "truncation");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(outcome_from_bytes(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn synthetic_outcomes_are_deterministic_and_codec_stable() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = synthetic_outcome(seed, 16);
+            let b = synthetic_outcome(seed, 16);
+            assert_eq!(outcome_to_bytes(&a), outcome_to_bytes(&b));
+            assert_eq!(outcome_to_string(&a), outcome_to_string(&b));
+            let back = outcome_from_bytes(&outcome_to_bytes(&a)).unwrap();
+            assert_eq!(outcome_to_string(&back), outcome_to_string(&a));
+        }
+        assert_ne!(
+            outcome_to_bytes(&synthetic_outcome(1, 16)),
+            outcome_to_bytes(&synthetic_outcome(2, 16)),
+            "different seeds must differ"
+        );
     }
 
     #[test]

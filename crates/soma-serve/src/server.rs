@@ -401,7 +401,7 @@ fn handle_submit(writer: &mut Stream, shared: &Shared, submit: SubmitRequest) ->
     // a cache hit costs no search work.
     let hit = {
         let ledger = shared.ledger.lock().expect("ledger lock poisoned");
-        ledger.lookup(&hash).map(|row| row.outcome.clone())
+        ledger.lookup(&hash).and_then(|row| row.outcome().cloned())
     };
     if let Some(outcome) = hit {
         shared.cache_hits.fetch_add(1, Ordering::SeqCst);

@@ -39,6 +39,10 @@ use std::sync::Mutex;
 pub mod site {
     /// One [`Ledger::append`](crate::ledger::Ledger::append) call.
     pub const LEDGER_APPEND: &str = "ledger.append";
+    /// One compaction rewrite of a ledger (the temp-file + rename
+    /// path). Repairs that should stay in place (torn-tail-only) must
+    /// never advance this counter — pinned by test.
+    pub const LEDGER_COMPACT: &str = "ledger.compact";
     /// One response frame written by the serve daemon.
     pub const SERVE_SEND: &str = "serve.send";
     /// One search executed by the serve daemon.
@@ -180,6 +184,25 @@ impl FaultPlan {
     /// Total faults handed out so far (for test assertions).
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::SeqCst)
+    }
+
+    /// How many times `site` has been invoked so far — faulted or not.
+    /// Tests use this as a cheap execution-path probe (e.g. "the
+    /// torn-tail repair never reached the compaction site").
+    pub fn invocations(&self, site: &str) -> u64 {
+        *self.counters.lock().expect("fault counters poisoned").get(site).unwrap_or(&0)
+    }
+
+    /// Advances `site`'s invocation counter **without** consulting the
+    /// fault schedule — a pure execution-path probe. Sites that tests
+    /// assert on but never inject into (compaction rewrites) call this,
+    /// so attaching a plan cannot change what those sites do, only
+    /// whether their execution is visible to [`invocations`].
+    ///
+    /// [`invocations`]: Self::invocations
+    pub fn observe(&self, site: &'static str) {
+        let mut counters = self.counters.lock().expect("fault counters poisoned");
+        *counters.entry(site).or_insert(0) += 1;
     }
 
     /// Advances `site`'s invocation counter and returns the fault (if

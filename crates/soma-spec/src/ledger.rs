@@ -1,62 +1,100 @@
-//! The on-disk **run ledger**: an append-only JSONL file mapping cell
-//! content hashes to losslessly persisted [`SearchOutcome`]s.
+//! The on-disk **run ledger**: a content-addressed result cache mapping
+//! cell hashes to losslessly persisted [`SearchOutcome`]s.
 //!
-//! The ledger is the workspace's content-addressed result cache. One
-//! JSON line per completed cell, keyed by [`cell_hash`](crate::cell_hash)
-//! over everything that determines the outcome (scenario id, resolved
-//! hardware, full `SearchConfig`, seed portfolio, engine version).
-//! The on-disk format, recovery semantics and versioning rules are
-//! specified in `specs/LEDGER.md`.
+//! Two on-disk formats share one API (format generation
+//! [`LEDGER_VERSION`] = 3, specified in `specs/LEDGER.md`):
 //!
-//! **Crash safety and self-validation** (format v2):
+//! * **Binary, sharded** (the default for new ledgers): the ledger is a
+//!   *directory* of 16 shard files (`shard-0.bin` … `shard-f.bin`,
+//!   keyed by the first hex digit of the cell hash so concurrent
+//!   writers never contend on one file), each holding length-prefixed,
+//!   checksummed frames, plus a disposable `index.bin` sidecar carrying
+//!   every row's metadata and frame location. A load that finds the
+//!   index in sync with the shard files builds the whole lookup table
+//!   **without reading a single frame** — outcomes decode lazily on
+//!   first access — which is what makes resume and cache lookup
+//!   O(cells-missing) instead of O(cells-done).
+//! * **JSONL** (format v2 rows, the human-readable debug surface —
+//!   `lab --ledger-format json`): one JSON line per row, `crc`-first.
+//!   v1 rows (no `crc`) are migrated on read. Paths ending in `.jsonl`
+//!   load as JSONL; directories load as binary.
 //!
-//! * Every row carries a `crc` field — FNV-1a 64 over the canonical
-//!   rendering of the rest of the line — so silent corruption (a
-//!   flipped bit that still parses as JSON) is caught, not replayed.
-//! * A partially written trailing line — the signature of a process
-//!   killed mid-append — is dropped and truncated away on load.
-//! * A corrupt row **anywhere else** in the file (torn by a crashed
-//!   concurrent writer, bit-rotted, or plain garbage) no longer aborts
-//!   the load: the row is moved to a `<name>.quarantine.jsonl` sidecar,
-//!   the main file is compacted crash-safely (write temp + rename),
-//!   and every valid row survives. [`Ledger::health`] reports exactly
-//!   what happened.
-//! * Duplicate-hash rows are **last-write-wins**: all copies stay in
-//!   the file (append-only history), lookups resolve to the newest,
-//!   and [`LedgerHealth::duplicates`] counts the shadowed ones.
+//! **Crash safety and self-validation** (both formats):
 //!
-//! Two producers share this type: the `lab` experiment orchestrator
-//! (`soma-bench`), which writes rows in cell order for its
-//! byte-identical-resume guarantee, and the `soma-serve` daemon, which
-//! appends rows as requests complete and serves repeat requests straight
-//! from the index — the cache grows across restarts because every append
-//! is flushed before the result is reported.
+//! * Every row carries an FNV-1a 64 checksum, so silent corruption (a
+//!   flipped bit that still parses) is caught, not replayed.
+//! * A partially written trailing row — the signature of a process
+//!   killed mid-append — is dropped and truncated away **in place**
+//!   (`set_len` + fsync); a torn tail on a gigabyte ledger no longer
+//!   costs a whole-file rewrite.
+//! * A corrupt row anywhere else quarantines: the damaged bytes move to
+//!   a sidecar (`<name>.quarantine.jsonl` next to a JSONL ledger,
+//!   `quarantine.jsonl` inside a binary ledger directory) and the
+//!   damaged file is compacted crash-safely (write temp + rename).
+//!   Every valid row survives; [`Ledger::health`] reports exactly what
+//!   happened. Loading a quarantine sidecar *as* a ledger is refused —
+//!   it would re-quarantine its own contents.
+//! * Duplicate-hash rows are **last-write-wins**: all copies stay (the
+//!   ledger is append-only history), lookups resolve to the newest, and
+//!   [`LedgerHealth::duplicates`] counts the shadowed ones.
+//!
+//! Observers (`watch`, summary builders, replay probes) must use
+//! [`Ledger::load_readonly`], which tolerates torn tails and corrupt
+//! rows **without writing anything** — a repairing load under a live
+//! writer would truncate the writer's in-progress tail out from under
+//! it.
 //!
 //! For chaos testing, a deterministic [`FaultPlan`](crate::fault) can be
-//! attached with [`Ledger::inject_faults`]: appends then suffer seeded
-//! torn writes, silent bit-flips and fsync failures, which is how the
-//! recovery paths above are exercised end-to-end.
+//! attached with [`Ledger::inject_faults`] (or at load time with
+//! [`Ledger::load_with_faults`]): appends then suffer seeded torn
+//! writes, silent bit-flips and fsync failures, and every compaction
+//! rewrite ticks the [`fault::site::LEDGER_COMPACT`] counter so tests
+//! can assert which repair path ran.
 
 use std::collections::HashMap;
 use std::fs;
-use std::io::{self, Write as _};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use serde::json::{self, Value};
-use soma_search::record::{outcome_from_json, outcome_to_json, ENGINE_VERSION};
+use soma_search::record::{
+    outcome_from_bytes, outcome_from_json, outcome_to_bytes, outcome_to_json, ENGINE_VERSION,
+};
+use soma_search::wire::{self, Reader};
 use soma_search::{SearchConfig, SearchOutcome};
 
 use crate::fault::{self, Fault, FaultPlan};
 use crate::hash::cell_hash_hex;
 use crate::ExperimentCell;
 
-/// Ledger line format version; bumping it invalidates old ledgers
-/// (rows from other versions are quarantined on load, not replayed).
-/// v2 added the per-row `crc` checksum.
-pub const LEDGER_VERSION: u64 = 2;
+/// Ledger **format generation**. v3 is the binary sharded format; the
+/// JSONL debug surface stays at row version [`JSONL_VERSION`].
+pub const LEDGER_VERSION: u64 = 3;
 
-/// FNV-1a 64 over a byte stream — the row checksum.
+/// Row version of the JSONL (debug) surface. v2 added the per-row
+/// `crc` checksum; v1 rows (no `crc`) are migrated on read.
+pub const JSONL_VERSION: u64 = 2;
+
+/// Number of shard files in a binary ledger directory (one per first
+/// hex digit of the cell hash).
+pub const SHARDS: usize = 16;
+
+/// 8-byte header of every shard file.
+const SHARD_MAGIC: &[u8; 8] = b"SOMALED3";
+/// 4-byte prefix of every frame — the resync anchor after damage.
+const FRAME_MAGIC: &[u8; 4] = b"FRM3";
+/// 8-byte header of the index sidecar.
+const INDEX_MAGIC: &[u8; 8] = b"SOMAIDX3";
+/// The index sidecar inside a binary ledger directory.
+const INDEX_FILE: &str = "index.bin";
+/// Human-readable marker dropped into a binary ledger directory.
+const MARKER_FILE: &str = "LEDGER";
+/// Quarantine sidecar inside a binary ledger directory.
+const QUARANTINE_FILE: &str = "quarantine.jsonl";
+
+/// FNV-1a 64 over a byte stream — the row/frame/index checksum.
 fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in bytes {
@@ -66,8 +104,117 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
-/// One persisted ledger row: the cell's identity plus its complete
-/// [`SearchOutcome`].
+/// Which shard a cell hash lives in: its first hex digit (cell hashes
+/// are 16 lowercase hex digits; anything else falls back to a hash).
+fn shard_of(hash: &str) -> u8 {
+    match hash.as_bytes().first().copied() {
+        Some(b @ b'0'..=b'9') => b - b'0',
+        Some(b @ b'a'..=b'f') => b - b'a' + 10,
+        Some(b @ b'A'..=b'F') => b - b'A' + 10,
+        _ => (fnv1a(hash.bytes()) % SHARDS as u64) as u8,
+    }
+}
+
+/// Path of shard `s` inside a binary ledger directory.
+fn shard_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("shard-{s:x}.bin"))
+}
+
+/// The two on-disk ledger formats behind the one [`Ledger`] API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerFormat {
+    /// One JSON line per row — the debug/quarantine surface.
+    Jsonl,
+    /// A directory of checksummed binary shard files plus an index
+    /// sidecar — the default for new ledgers.
+    Binary,
+}
+
+impl LedgerFormat {
+    /// Detects the format of the ledger at `path`: an existing
+    /// directory is binary, an existing file is JSONL, and a missing
+    /// path goes by its extension (`.jsonl` → JSONL, anything else →
+    /// binary).
+    pub fn detect(path: &Path) -> Self {
+        if path.is_dir() {
+            LedgerFormat::Binary
+        } else if path.is_file() || path.extension().is_some_and(|e| e == "jsonl") {
+            LedgerFormat::Jsonl
+        } else {
+            LedgerFormat::Binary
+        }
+    }
+}
+
+impl std::fmt::Display for LedgerFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LedgerFormat::Jsonl => "jsonl",
+            LedgerFormat::Binary => "binary",
+        })
+    }
+}
+
+/// Where a row's frame sits on disk (binary format only).
+#[derive(Debug, Clone, Copy)]
+struct FrameLoc {
+    shard: u8,
+    offset: u64,
+    len: u32,
+}
+
+/// Where a lazily decoded outcome's bytes come from.
+#[derive(Debug)]
+enum LazySource {
+    /// The frame's outcome payload, already in memory.
+    Payload(Vec<u8>),
+    /// A whole frame on disk (magic + length + body), read on demand.
+    Disk { shard: PathBuf, offset: u64, len: u32 },
+}
+
+/// A memoised lazy outcome: decoded at most once, shared by clones.
+#[derive(Debug)]
+struct LazyOutcome {
+    source: LazySource,
+    slot: OnceLock<Option<Arc<SearchOutcome>>>,
+    /// The owning ledger's decode counter — how scale tests prove a
+    /// resume is O(missing) (zero decodes on a pure index load).
+    decodes: Arc<AtomicU64>,
+}
+
+impl LazyOutcome {
+    fn decode(&self) -> Option<SearchOutcome> {
+        match &self.source {
+            LazySource::Payload(bytes) => outcome_from_bytes(bytes).ok(),
+            LazySource::Disk { shard, offset, len } => {
+                let frame = read_exact_at(shard, *offset, *len).ok()?;
+                let meta = decode_frame_body(frame.get(8..)?).ok()?;
+                outcome_from_bytes(&meta.payload).ok()
+            }
+        }
+    }
+}
+
+/// A row's outcome: resident (JSONL loads, freshly appended rows) or
+/// lazy (binary loads — decoded on first access).
+#[derive(Debug, Clone)]
+enum Payload {
+    Resident(Arc<SearchOutcome>),
+    Lazy(Arc<LazyOutcome>),
+}
+
+/// Reads exactly `len` bytes at `offset` from `path`.
+fn read_exact_at(path: &Path, offset: u64, len: u32) -> io::Result<Vec<u8>> {
+    let mut f = fs::File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len as usize];
+    f.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// One persisted ledger row: the cell's identity, the summary metadata
+/// every observer needs (cost, latency, evals — readable without
+/// decoding the outcome), and the complete [`SearchOutcome`].
 #[derive(Debug, Clone)]
 pub struct LedgerRow {
     /// The content hash this row is keyed by (16 hex digits).
@@ -80,43 +227,122 @@ pub struct LedgerRow {
     pub platform: String,
     /// Batch size.
     pub batch: u32,
-    /// The cell's search outcome, losslessly persisted.
-    pub outcome: SearchOutcome,
+    /// Engine version that produced the row. Empty for rows recorded
+    /// before v3 (the JSONL surface does not store it); compaction
+    /// drops rows from a different, non-empty engine.
+    pub engine: String,
+    /// Best cost of the outcome (mirrors `outcome.best.cost`).
+    pub best_cost: f64,
+    /// Best latency in cycles (mirrors `outcome.best.report`).
+    pub latency_cycles: u64,
+    /// Total evaluations (mirrors `outcome.evals`).
+    pub evals: u64,
+    /// Global append order — what keeps merged shard rows in the same
+    /// order the campaign wrote them.
+    seq: u64,
+    /// Frame location on disk, when the row came from (or went to) a
+    /// binary shard.
+    loc: Option<FrameLoc>,
+    payload: Payload,
 }
 
 impl LedgerRow {
-    /// Builds a row for one experiment cell.
+    /// Builds a row for one experiment cell, produced by the current
+    /// engine.
     pub fn new(cell: &ExperimentCell, hash: &str, outcome: SearchOutcome) -> Self {
+        Self::from_parts(hash, &cell.id, &cell.workload, &cell.platform, cell.batch, outcome)
+    }
+
+    /// Builds a row from its raw parts — the constructor scale tests
+    /// and benchmarks use to synthesise campaigns without running
+    /// searches. The row is stamped with the current [`ENGINE_VERSION`].
+    pub fn from_parts(
+        hash: &str,
+        cell: &str,
+        workload: &str,
+        platform: &str,
+        batch: u32,
+        outcome: SearchOutcome,
+    ) -> Self {
         Self {
             hash: hash.to_string(),
-            cell: cell.id.clone(),
-            workload: cell.workload.clone(),
-            platform: cell.platform.clone(),
-            batch: cell.batch,
-            outcome,
+            cell: cell.to_string(),
+            workload: workload.to_string(),
+            platform: platform.to_string(),
+            batch,
+            engine: ENGINE_VERSION.to_string(),
+            best_cost: outcome.best.cost,
+            latency_cycles: outcome.best.report.latency_cycles,
+            evals: outcome.evals,
+            seq: 0,
+            loc: None,
+            payload: Payload::Resident(Arc::new(outcome)),
+        }
+    }
+
+    /// The row's full outcome. Resident rows return it directly; lazy
+    /// rows (binary loads) decode their frame payload on first access
+    /// and memoise. `None` means the payload on disk is corrupt —
+    /// damage is an absent outcome, never a panic.
+    pub fn outcome(&self) -> Option<&SearchOutcome> {
+        match &self.payload {
+            Payload::Resident(o) => Some(o),
+            Payload::Lazy(l) => {
+                let slot = l.slot.get_or_init(|| {
+                    l.decodes.fetch_add(1, Ordering::Relaxed);
+                    l.decode().map(Arc::new)
+                });
+                slot.as_deref()
+            }
+        }
+    }
+
+    /// The row's outcome payload in the binary codec, without
+    /// re-decoding when the encoded bytes are already at hand.
+    fn payload_bytes(&self) -> io::Result<Vec<u8>> {
+        match &self.payload {
+            Payload::Resident(o) => Ok(outcome_to_bytes(o)),
+            Payload::Lazy(l) => match &l.source {
+                LazySource::Payload(bytes) => Ok(bytes.clone()),
+                LazySource::Disk { shard, offset, len } => {
+                    let frame = read_exact_at(shard, *offset, *len)?;
+                    let body = frame.get(8..).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "frame shorter than its header")
+                    })?;
+                    let meta = decode_frame_body(body)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    Ok(meta.payload)
+                }
+            },
         }
     }
 
     /// The row's payload object — every field except the checksum, in
     /// canonical order. The checksum covers this object's canonical
     /// rendering.
-    fn payload(&self) -> Value {
+    fn jsonl_payload(&self, outcome: &SearchOutcome) -> Value {
         let mut o = Value::obj();
-        o.push("v", LEDGER_VERSION.into());
+        o.push("v", JSONL_VERSION.into());
         o.push("hash", self.hash.as_str().into());
         o.push("cell", self.cell.as_str().into());
         o.push("workload", self.workload.as_str().into());
         o.push("platform", self.platform.as_str().into());
         o.push("batch", self.batch.into());
-        o.push("outcome", outcome_to_json(&self.outcome));
+        o.push("outcome", outcome_to_json(outcome));
         o
     }
 
-    /// Renders the row as its single-line JSON ledger entry (no trailing
+    /// Renders the row as its single-line JSONL entry (no trailing
     /// newline), `crc` first. Deterministic: equal rows render
     /// byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// If the row's lazily loaded outcome payload is corrupt on disk —
+    /// render paths only see rows whose outcomes exist.
     pub fn to_line(&self) -> String {
-        let payload = self.payload();
+        let outcome = self.outcome().expect("rendering a row with a corrupt outcome payload");
+        let payload = self.jsonl_payload(outcome);
         let crc = format!("{:016x}", fnv1a(json::to_string(&payload).bytes()));
         let mut o = Value::obj();
         o.push("crc", crc.into());
@@ -127,9 +353,9 @@ impl LedgerRow {
         json::to_string(&o)
     }
 
-    /// Parses and **verifies** one ledger line: the embedded `crc` must
-    /// match FNV-1a over the canonical rendering of the remaining
-    /// fields, or the row is corrupt.
+    /// Parses and **verifies** one JSONL ledger line: the embedded
+    /// `crc` must match FNV-1a over the canonical rendering of the
+    /// remaining fields, or the row is corrupt.
     ///
     /// # Errors
     ///
@@ -153,11 +379,28 @@ impl LedgerRow {
         if crc != computed {
             return Err(format!("checksum mismatch: row says {crc}, content is {computed}"));
         }
-        let v = payload;
-        let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
-        if version != LEDGER_VERSION {
+        let version = payload.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
+        if version != JSONL_VERSION {
             return Err(format!("unsupported ledger version {version}"));
         }
+        Self::from_json_fields(&payload, "")
+    }
+
+    /// Parses a **v1** JSONL row (the pre-checksum format) — the
+    /// migration-on-read path. Only complete rows migrate; anything
+    /// short of the full field set stays an error (and quarantines).
+    fn from_line_v1(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
+        if version != 1 {
+            return Err(format!("not a v1 row (version {version})"));
+        }
+        Self::from_json_fields(&v, "")
+    }
+
+    /// Shared field extraction for JSONL rows (v1 and v2 carry the
+    /// same payload fields).
+    fn from_json_fields(v: &Value, engine: &str) -> Result<Self, String> {
         let text = |key: &str| -> Result<String, String> {
             Ok(v.get(key)
                 .and_then(Value::as_str)
@@ -173,20 +416,111 @@ impl LedgerRow {
             workload: text("workload")?,
             platform: text("platform")?,
             batch: u32::try_from(batch).map_err(|_| "batch exceeds u32".to_string())?,
-            outcome,
+            engine: engine.to_string(),
+            best_cost: outcome.best.cost,
+            latency_cycles: outcome.best.report.latency_cycles,
+            evals: outcome.evals,
+            seq: 0,
+            loc: None,
+            payload: Payload::Resident(Arc::new(outcome)),
         })
     }
 }
 
-/// What [`Ledger::load`] found and repaired — the ledger's self-report.
-/// A healthy load is `kept == rows, everything else zero/false`.
+/// A frame's decoded metadata — everything but the outcome, which
+/// stays encoded in `payload` until someone asks for it.
+struct FrameMeta {
+    seq: u64,
+    hash: String,
+    cell: String,
+    workload: String,
+    platform: String,
+    batch: u32,
+    engine: String,
+    best_cost: f64,
+    latency_cycles: u64,
+    evals: u64,
+    payload: Vec<u8>,
+}
+
+/// Encodes one row as a complete frame: `FRM3` magic, `u32` LE body
+/// length, then the body (`u64` LE checksum over the rest, followed by
+/// the versioned fields and the outcome payload). Deterministic.
+fn encode_frame(row: &LedgerRow, payload: &[u8]) -> Vec<u8> {
+    let mut rest = Vec::with_capacity(payload.len() + 128);
+    wire::put_varint(&mut rest, LEDGER_VERSION);
+    wire::put_varint(&mut rest, row.seq);
+    wire::put_str(&mut rest, &row.hash);
+    wire::put_str(&mut rest, &row.cell);
+    wire::put_str(&mut rest, &row.workload);
+    wire::put_str(&mut rest, &row.platform);
+    wire::put_varint(&mut rest, u64::from(row.batch));
+    wire::put_str(&mut rest, &row.engine);
+    wire::put_f64(&mut rest, row.best_cost);
+    wire::put_varint(&mut rest, row.latency_cycles);
+    wire::put_varint(&mut rest, row.evals);
+    wire::put_bytes(&mut rest, payload);
+    let crc = fnv1a(rest.iter().copied());
+    let body_len = u32::try_from(rest.len() + 8).expect("frame body fits in u32");
+    let mut frame = Vec::with_capacity(rest.len() + 16);
+    frame.extend_from_slice(FRAME_MAGIC);
+    frame.extend_from_slice(&body_len.to_le_bytes());
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&rest);
+    frame
+}
+
+/// Decodes and **verifies** one frame body (the bytes after magic +
+/// length): checksum first, then version, then fields.
+fn decode_frame_body(body: &[u8]) -> Result<FrameMeta, String> {
+    if body.len() < 8 {
+        return Err("frame body shorter than its checksum".into());
+    }
+    let crc = u64::from_le_bytes(body[..8].try_into().expect("8-byte slice"));
+    let rest = &body[8..];
+    let computed = fnv1a(rest.iter().copied());
+    if crc != computed {
+        return Err(format!(
+            "frame checksum mismatch: frame says {crc:016x}, content is {computed:016x}"
+        ));
+    }
+    let mut r = Reader::new(rest);
+    let parse = |r: &mut Reader<'_>| -> Result<FrameMeta, wire::WireError> {
+        let version = r.varint()?;
+        if version != LEDGER_VERSION {
+            return Err(wire::WireError::new(format!("unsupported ledger version {version}")));
+        }
+        Ok(FrameMeta {
+            seq: r.varint()?,
+            hash: r.str()?.to_string(),
+            cell: r.str()?.to_string(),
+            workload: r.str()?.to_string(),
+            platform: r.str()?.to_string(),
+            batch: u32::try_from(r.varint()?)
+                .map_err(|_| wire::WireError::new("batch exceeds u32"))?,
+            engine: r.str()?.to_string(),
+            best_cost: r.f64()?,
+            latency_cycles: r.varint()?,
+            evals: r.varint()?,
+            payload: r.bytes()?.to_vec(),
+        })
+    };
+    let meta = parse(&mut r).map_err(|e| e.msg)?;
+    r.finish().map_err(|e| e.msg)?;
+    Ok(meta)
+}
+
+/// What a load found and repaired — the ledger's self-report. A
+/// healthy load is `kept == rows, everything else zero/false`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LedgerHealth {
     /// Valid rows kept (including shadowed duplicates).
     pub kept: usize,
-    /// Corrupt non-trailing rows moved to the quarantine sidecar.
+    /// Corrupt rows/regions moved to the quarantine sidecar (or merely
+    /// tolerated, on a read-only load).
     pub quarantined: usize,
-    /// Whether a partially written trailing line was dropped.
+    /// Whether a partially written trailing row was found (and, on a
+    /// repairing load, truncated away).
     pub truncated: bool,
     /// Valid rows whose hash repeats an earlier row's (last-write-wins;
     /// this counts the shadowed earlier copies).
@@ -200,133 +534,597 @@ impl LedgerHealth {
     }
 }
 
-/// The on-disk run ledger: an append-only JSONL file mapping cell
-/// content hashes to persisted [`SearchOutcome`]s.
-#[derive(Debug)]
-pub struct Ledger {
-    path: PathBuf,
-    rows: Vec<LedgerRow>,
-    index: HashMap<String, usize>,
-    health: LedgerHealth,
-    faults: Option<Arc<FaultPlan>>,
-}
-
 /// The quarantine sidecar path of a ledger: `runs/x.jsonl` →
-/// `runs/x.quarantine.jsonl`.
+/// `runs/x.quarantine.jsonl` for a JSONL file, `<dir>/quarantine.jsonl`
+/// for a binary ledger directory.
 pub fn quarantine_path(ledger: &Path) -> PathBuf {
+    if LedgerFormat::detect(ledger) == LedgerFormat::Binary {
+        return ledger.join(QUARANTINE_FILE);
+    }
     let stem = ledger.file_stem().and_then(|s| s.to_str()).unwrap_or("ledger");
     ledger.with_file_name(format!("{stem}.quarantine.jsonl"))
 }
 
+/// Whether `path` names a quarantine sidecar — which must never be
+/// loaded *as* a ledger (its own quarantine path maps back onto
+/// itself, so a load would re-quarantine its contents in place).
+fn is_quarantine_sidecar(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n == QUARANTINE_FILE || n.ends_with(".quarantine.jsonl"))
+}
+
+/// One index sidecar entry: a row's metadata plus its frame location.
+struct IndexEntry {
+    seq: u64,
+    shard: u8,
+    offset: u64,
+    len: u32,
+    hash: String,
+    cell: String,
+    workload: String,
+    platform: String,
+    batch: u32,
+    engine: String,
+    best_cost: f64,
+    latency_cycles: u64,
+    evals: u64,
+}
+
+/// A parsed index sidecar: the next append sequence number, how many
+/// bytes of each shard the entries cover, and the entries grouped by
+/// shard.
+struct IndexData {
+    next_seq: u64,
+    covered: [u64; SHARDS],
+    by_shard: Vec<Vec<IndexEntry>>,
+}
+
+/// Reads and verifies the index sidecar. The index is a disposable
+/// cache: any damage (bad magic, checksum mismatch, truncation) reads
+/// as "no index" and the shards get scanned instead.
+fn read_index(path: &Path) -> Option<IndexData> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < 16 || &bytes[..8] != INDEX_MAGIC {
+        return None;
+    }
+    let crc = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let rest = &bytes[16..];
+    if crc != fnv1a(rest.iter().copied()) {
+        return None;
+    }
+    let parse = || -> Result<IndexData, wire::WireError> {
+        let mut r = Reader::new(rest);
+        let next_seq = r.varint()?;
+        let mut covered = [0u64; SHARDS];
+        for c in &mut covered {
+            *c = r.varint()?;
+        }
+        let n = usize::try_from(r.varint()?)
+            .map_err(|_| wire::WireError::new("entry count overflow"))?;
+        let mut by_shard: Vec<Vec<IndexEntry>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for _ in 0..n {
+            let e = IndexEntry {
+                seq: r.varint()?,
+                shard: r.u8()?,
+                offset: r.varint()?,
+                len: u32::try_from(r.varint()?)
+                    .map_err(|_| wire::WireError::new("frame length exceeds u32"))?,
+                hash: r.str()?.to_string(),
+                cell: r.str()?.to_string(),
+                workload: r.str()?.to_string(),
+                platform: r.str()?.to_string(),
+                batch: u32::try_from(r.varint()?)
+                    .map_err(|_| wire::WireError::new("batch exceeds u32"))?,
+                engine: r.str()?.to_string(),
+                best_cost: r.f64()?,
+                latency_cycles: r.varint()?,
+                evals: r.varint()?,
+            };
+            if usize::from(e.shard) >= SHARDS {
+                return Err(wire::WireError::new("shard id out of range"));
+            }
+            by_shard[usize::from(e.shard)].push(e);
+        }
+        r.finish()?;
+        Ok(IndexData { next_seq, covered, by_shard })
+    };
+    parse().ok()
+}
+
+/// Builds a lazily loaded row from one index entry — zero frame I/O.
+fn row_from_entry(e: IndexEntry, dir: &Path, decodes: &Arc<AtomicU64>) -> LedgerRow {
+    LedgerRow {
+        hash: e.hash,
+        cell: e.cell,
+        workload: e.workload,
+        platform: e.platform,
+        batch: e.batch,
+        engine: e.engine,
+        best_cost: e.best_cost,
+        latency_cycles: e.latency_cycles,
+        evals: e.evals,
+        seq: e.seq,
+        loc: Some(FrameLoc { shard: e.shard, offset: e.offset, len: e.len }),
+        payload: Payload::Lazy(Arc::new(LazyOutcome {
+            source: LazySource::Disk {
+                shard: shard_path(dir, usize::from(e.shard)),
+                offset: e.offset,
+                len: e.len,
+            },
+            slot: OnceLock::new(),
+            decodes: Arc::clone(decodes),
+        })),
+    }
+}
+
+/// What one shard scan found.
+struct ShardScan {
+    /// Valid rows, in frame order, with in-memory (already read)
+    /// payloads.
+    rows: Vec<LedgerRow>,
+    /// Byte ranges of the valid frames (for a quarantine rewrite).
+    kept_ranges: Vec<(usize, usize)>,
+    /// Damaged byte regions `(offset, len)` — corrupt frames, garbage
+    /// between frames, a broken shard header.
+    damage: Vec<(u64, u64)>,
+    /// Offset where a clean torn tail begins (an incomplete final
+    /// frame with no later frame magic — a kill mid-append).
+    torn_tail: Option<u64>,
+}
+
+/// Finds the next `FRAME_MAGIC` occurrence at or after `from`.
+fn find_magic(buf: &[u8], from: usize) -> Option<usize> {
+    if buf.len() < FRAME_MAGIC.len() {
+        return None;
+    }
+    (from..=buf.len() - FRAME_MAGIC.len()).find(|&i| &buf[i..i + FRAME_MAGIC.len()] == FRAME_MAGIC)
+}
+
+/// Scans one shard buffer from `start`, resynchronising on frame magic
+/// after damage — corruption costs the damaged region, never a valid
+/// later frame.
+fn scan_shard(buf: &[u8], start: usize, shard: u8, decodes: &Arc<AtomicU64>) -> ShardScan {
+    let mut scan = ShardScan {
+        rows: Vec::new(),
+        kept_ranges: Vec::new(),
+        damage: Vec::new(),
+        torn_tail: None,
+    };
+    let mut pos = start;
+    while pos < buf.len() {
+        let frame_here = buf[pos..].starts_with(FRAME_MAGIC);
+        if frame_here {
+            let header_end = pos + FRAME_MAGIC.len() + 4;
+            if header_end <= buf.len() {
+                let body_len =
+                    u32::from_le_bytes(buf[pos + 4..header_end].try_into().expect("4-byte slice"))
+                        as usize;
+                let frame_end = header_end + body_len;
+                if frame_end <= buf.len() {
+                    match decode_frame_body(&buf[header_end..frame_end]) {
+                        Ok(meta) => {
+                            scan.rows.push(LedgerRow {
+                                hash: meta.hash,
+                                cell: meta.cell,
+                                workload: meta.workload,
+                                platform: meta.platform,
+                                batch: meta.batch,
+                                engine: meta.engine,
+                                best_cost: meta.best_cost,
+                                latency_cycles: meta.latency_cycles,
+                                evals: meta.evals,
+                                seq: meta.seq,
+                                loc: Some(FrameLoc {
+                                    shard,
+                                    offset: pos as u64,
+                                    len: (frame_end - pos) as u32,
+                                }),
+                                payload: Payload::Lazy(Arc::new(LazyOutcome {
+                                    source: LazySource::Payload(meta.payload),
+                                    slot: OnceLock::new(),
+                                    decodes: Arc::clone(decodes),
+                                })),
+                            });
+                            scan.kept_ranges.push((pos, frame_end));
+                            pos = frame_end;
+                            continue;
+                        }
+                        Err(_) => {
+                            // Fall through to damage handling below.
+                        }
+                    }
+                } else {
+                    // The frame claims to extend past EOF. If no later
+                    // magic exists, this is a torn trailing append;
+                    // otherwise the length itself is damaged.
+                    if find_magic(buf, pos + 1).is_none() {
+                        scan.torn_tail = Some(pos as u64);
+                        return scan;
+                    }
+                }
+            } else {
+                // Not even a complete header at EOF.
+                if find_magic(buf, pos + 1).is_none() {
+                    scan.torn_tail = Some(pos as u64);
+                    return scan;
+                }
+            }
+        }
+        // Damage at `pos`: skip to the next frame magic (or EOF).
+        let next = find_magic(buf, pos + 1).unwrap_or(buf.len());
+        scan.damage.push((pos as u64, (next - pos) as u64));
+        pos = next;
+    }
+    scan
+}
+
+/// What [`Ledger::compact`] dropped and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Rows surviving compaction.
+    pub kept: usize,
+    /// Shadowed duplicate-hash rows dropped.
+    pub dropped_duplicates: usize,
+    /// Rows from a different (non-empty) engine version dropped.
+    pub dropped_stale_engine: usize,
+}
+
+/// What [`Ledger::migrate`] moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateStats {
+    /// Rows migrated.
+    pub rows: usize,
+    /// Source format.
+    pub from: LedgerFormat,
+    /// Destination format.
+    pub to: LedgerFormat,
+}
+
+/// The on-disk run ledger: an append-only store mapping cell content
+/// hashes to persisted [`SearchOutcome`]s, in either format of
+/// [`LedgerFormat`].
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    format: LedgerFormat,
+    rows: Vec<LedgerRow>,
+    index: HashMap<String, usize>,
+    health: LedgerHealth,
+    /// Per-shard health (binary format only; empty for JSONL).
+    shard_health: Vec<LedgerHealth>,
+    faults: Option<Arc<FaultPlan>>,
+    /// Outcome decodes performed by this ledger's lazy rows — the
+    /// O(cells-missing) resume proof counts this, not wall clock.
+    decodes: Arc<AtomicU64>,
+    next_seq: u64,
+    readonly: bool,
+}
+
 impl Ledger {
-    /// Loads (or creates the notion of) the ledger at `path`. A missing
-    /// file is an empty ledger.
+    /// Loads (or creates the notion of) the ledger at `path`, repairing
+    /// damage. A missing path is an empty ledger of the format
+    /// [`LedgerFormat::detect`] picks.
     ///
     /// Recovery is automatic and crash-safe:
     ///
-    /// * a partially written trailing line (a kill mid-append) is
-    ///   dropped and truncated away;
-    /// * corrupt rows anywhere else (checksum mismatch, bad JSON,
-    ///   foreign version) are appended to the `<name>.quarantine.jsonl`
-    ///   sidecar and the main file is compacted via temp-file + rename,
-    ///   so a crash mid-repair leaves either the old or the new file —
-    ///   never a mix;
+    /// * a partially written trailing row (a kill mid-append) is
+    ///   dropped and truncated away in place (`set_len` + fsync — no
+    ///   rewrite);
+    /// * corrupt rows anywhere else (checksum mismatch, bad framing,
+    ///   foreign version) move to the quarantine sidecar and the
+    ///   damaged file is compacted via temp-file + rename, so a crash
+    ///   mid-repair leaves either the old or the new file — never a
+    ///   mix;
     /// * duplicate-hash rows all stay; lookups resolve to the newest
     ///   (last-write-wins).
     ///
     /// [`health`](Self::health) reports what was kept, quarantined,
     /// truncated and shadowed. Loading never loses a valid row.
     ///
+    /// Writers only — observers must use
+    /// [`load_readonly`](Self::load_readonly).
+    ///
     /// # Errors
     ///
-    /// Real I/O errors only — corruption is repaired, not fatal.
+    /// Real I/O errors, or refusing to load a quarantine sidecar as a
+    /// ledger — corruption is repaired, not fatal.
     pub fn load(path: &Path) -> io::Result<Self> {
+        Self::load_impl(path, None, false)
+    }
+
+    /// Loads the ledger **without writing anything**: torn tails and
+    /// corrupt rows are tolerated (skipped and reported in
+    /// [`health`](Self::health)) but never truncated, quarantined or
+    /// compacted. This is the only safe load under a live writer — a
+    /// repairing load would treat the writer's in-progress tail as
+    /// damage and truncate it out from under the writer. Every
+    /// observer path (`watch`, summaries, replay probes) uses this.
+    ///
+    /// [`append`](Self::append), [`compact`](Self::compact) and
+    /// [`sync_index`](Self::sync_index) on a read-only ledger fail
+    /// with [`io::ErrorKind::PermissionDenied`].
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors, or a quarantine-sidecar path.
+    pub fn load_readonly(path: &Path) -> io::Result<Self> {
+        Self::load_impl(path, None, true)
+    }
+
+    /// [`load`](Self::load) with a [`FaultPlan`] attached from the
+    /// start, so the load's own repair actions tick the plan's
+    /// counters (site [`fault::site::LEDGER_COMPACT`] on every
+    /// compaction rewrite — a torn-tail-only repair ticks nothing,
+    /// which is how tests pin the in-place truncation path).
+    ///
+    /// # Errors
+    ///
+    /// As [`load`](Self::load).
+    pub fn load_with_faults(path: &Path, plan: Arc<FaultPlan>) -> io::Result<Self> {
+        Self::load_impl(path, Some(plan), false)
+    }
+
+    fn load_impl(path: &Path, faults: Option<Arc<FaultPlan>>, readonly: bool) -> io::Result<Self> {
+        if is_quarantine_sidecar(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "refusing to load quarantine sidecar {} as a ledger \
+                     (it would re-quarantine its own contents)",
+                    path.display()
+                ),
+            ));
+        }
+        let format = LedgerFormat::detect(path);
         let mut ledger = Self {
             path: path.to_path_buf(),
+            format,
             rows: Vec::new(),
             index: HashMap::new(),
             health: LedgerHealth::default(),
-            faults: None,
+            shard_health: Vec::new(),
+            faults,
+            decodes: Arc::new(AtomicU64::new(0)),
+            next_seq: 0,
+            readonly,
         };
-        let bytes = match fs::read(path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ledger),
-            Err(e) => return Err(e),
-        };
-        // Bit-rot can break UTF-8 itself; decode lossily so the damaged
-        // row quarantines like any other instead of failing the load.
-        // After a lossy decode, byte offsets into the original file are
-        // meaningless, so in-place tail truncation is off the table and
-        // the repair must go through the full compaction path.
-        let (text, lossy) = match String::from_utf8(bytes) {
-            Ok(text) => (text, false),
-            Err(e) => (String::from_utf8_lossy(e.as_bytes()).into_owned(), true),
-        };
-
-        let mut kept_lines: Vec<&str> = Vec::new();
-        let mut quarantined: Vec<&str> = Vec::new();
-        let lines: Vec<&str> = text.split('\n').collect();
-        for (i, line) in lines.iter().enumerate() {
-            // `split` leaves no trailing '\n' on the last piece, so a
-            // non-empty last piece is a torn trailing write.
-            let is_torn_tail = i + 1 == lines.len();
-            if line.is_empty() {
-                continue;
-            }
-            if is_torn_tail {
-                ledger.health.truncated = true;
-                break;
-            }
-            match LedgerRow::from_line(line) {
-                Ok(row) => {
-                    if let Some(prev) = ledger.index.insert(row.hash.clone(), ledger.rows.len()) {
-                        let _ = prev;
-                        ledger.health.duplicates += 1;
-                    }
-                    ledger.rows.push(row);
-                    kept_lines.push(line);
-                }
-                Err(_) => quarantined.push(line),
-            }
-        }
-        ledger.health.kept = ledger.rows.len();
-        ledger.health.quarantined = quarantined.len();
-
-        if !quarantined.is_empty() || lossy {
-            // Quarantine first, then compact: a crash between the two
-            // leaves the corrupt rows present in both places, and the
-            // next load simply quarantines them again.
-            if !quarantined.is_empty() {
-                let qpath = quarantine_path(path);
-                let mut q = fs::OpenOptions::new().create(true).append(true).open(&qpath)?;
-                for line in &quarantined {
-                    writeln!(q, "{line}")?;
-                }
-                q.flush()?;
-            }
-            Self::rewrite(path, &kept_lines)?;
-        } else if ledger.health.truncated {
-            // Only a torn tail: truncate in place (the prefix is intact).
-            let keep: usize = kept_lines.iter().map(|l| l.len() + 1).sum();
-            let f = fs::OpenOptions::new().write(true).open(path)?;
-            f.set_len(keep as u64)?;
+        match format {
+            LedgerFormat::Jsonl => ledger.load_jsonl()?,
+            LedgerFormat::Binary => ledger.load_binary()?,
         }
         Ok(ledger)
     }
 
-    /// Crash-safely replaces the ledger file with exactly `lines`:
-    /// write a temp file in the same directory, flush, rename over.
-    fn rewrite(path: &Path, lines: &[&str]) -> io::Result<()> {
-        let tmp = path.with_extension("jsonl.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            for line in lines {
-                writeln!(f, "{line}")?;
+    /// Inserts a row into the in-memory lookup state (last-write-wins).
+    fn index_row(&mut self, row: LedgerRow) {
+        if self.index.insert(row.hash.clone(), self.rows.len()).is_some() {
+            self.health.duplicates += 1;
+        }
+        self.rows.push(row);
+    }
+
+    fn load_jsonl(&mut self) -> io::Result<()> {
+        let bytes = match fs::read(&self.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        // Byte-wise line split: bit-rot can break UTF-8 itself, and a
+        // non-UTF-8 line must quarantine like any other corrupt row
+        // without poisoning its neighbours' byte offsets.
+        // Kept line ranges; `true` marks a v1 row migrated on read
+        // (rendered as v2 if a repair rewrite happens).
+        let mut kept_ranges: Vec<(usize, usize, bool)> = Vec::new();
+        let mut quarantined_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut torn_start: Option<usize> = None;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let Some(off) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+                // Trailing bytes without a newline: a torn trailing
+                // write (the file is always appended line-at-a-time).
+                self.health.truncated = true;
+                torn_start = Some(pos);
+                break;
+            };
+            let range = (pos, pos + off);
+            pos += off + 1;
+            if range.0 == range.1 {
+                continue;
             }
-            f.flush()?;
+            let line = &bytes[range.0..range.1];
+            // v2 first; a failed parse retries as v1 — the
+            // migration-on-read path for pre-checksum ledgers.
+            let parsed = std::str::from_utf8(line).map_err(|e| e.to_string()).and_then(|text| {
+                LedgerRow::from_line(text).map(|row| (row, false)).or_else(|e2| {
+                    LedgerRow::from_line_v1(text).map(|row| (row, true)).map_err(|_| e2)
+                })
+            });
+            match parsed {
+                Ok((mut row, migrated)) => {
+                    row.seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.index_row(row);
+                    kept_ranges.push((range.0, range.1, migrated));
+                }
+                Err(_) => quarantined_ranges.push(range),
+            }
+        }
+        self.health.kept = self.rows.len();
+        self.health.quarantined = quarantined_ranges.len();
+
+        if self.readonly {
+            return Ok(());
+        }
+        if !quarantined_ranges.is_empty() {
+            // Quarantine first, then compact: a crash between the two
+            // leaves the corrupt rows present in both places, and the
+            // next load simply quarantines them again.
+            let qpath = quarantine_path(&self.path);
+            let mut q = fs::OpenOptions::new().create(true).append(true).open(&qpath)?;
+            for &(a, b) in &quarantined_ranges {
+                q.write_all(&bytes[a..b])?;
+                q.write_all(b"\n")?;
+            }
+            q.flush()?;
+            let tmp = self.path.with_extension("jsonl.tmp");
+            {
+                let mut f = fs::File::create(&tmp)?;
+                for (k, &(a, b, migrated)) in kept_ranges.iter().enumerate() {
+                    if migrated {
+                        // Upgrade migrated v1 rows to v2 as we rewrite;
+                        // v2 rows keep their exact on-disk bytes.
+                        f.write_all(self.rows[k].to_line().as_bytes())?;
+                    } else {
+                        f.write_all(&bytes[a..b])?;
+                    }
+                    f.write_all(b"\n")?;
+                }
+                f.flush()?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, &self.path)?;
+            if let Some(plan) = &self.faults {
+                plan.observe(fault::site::LEDGER_COMPACT);
+            }
+        } else if let Some(ts) = torn_start {
+            // Only a torn tail: the prefix is intact, so truncate in
+            // place — no temp file, no rewrite, O(1) in ledger size.
+            let f = fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.set_len(ts as u64)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, path)
+        Ok(())
+    }
+
+    fn load_binary(&mut self) -> io::Result<()> {
+        self.shard_health = vec![LedgerHealth::default(); SHARDS];
+        if !self.path.exists() {
+            return Ok(());
+        }
+        let dir = self.path.clone();
+        let mut idx = read_index(&dir.join(INDEX_FILE));
+        let next_seq_floor = idx.as_ref().map_or(0, |i| i.next_seq);
+        let mut index_stale = idx.is_none();
+        let mut all_rows: Vec<LedgerRow> = Vec::new();
+
+        for s in 0..SHARDS {
+            let spath = shard_path(&dir, s);
+            let size = fs::metadata(&spath).map(|m| m.len()).unwrap_or(0);
+            let (covered, entries) = match idx.as_mut() {
+                Some(i) => (i.covered[s], std::mem::take(&mut i.by_shard[s])),
+                None => (0, Vec::new()),
+            };
+            if size == 0 {
+                if covered > 0 || !entries.is_empty() {
+                    index_stale = true;
+                }
+                continue;
+            }
+            if idx.is_some() && covered == size {
+                // The index covers the whole shard: trust it and build
+                // every row without reading a single frame.
+                self.shard_health[s].kept = entries.len();
+                all_rows
+                    .extend(entries.into_iter().map(|e| row_from_entry(e, &dir, &self.decodes)));
+                continue;
+            }
+            index_stale = true;
+            let buf = fs::read(&spath)?;
+            let full_start = if buf.starts_with(SHARD_MAGIC) { SHARD_MAGIC.len() } else { 0 };
+            let mut trusted: Vec<LedgerRow> = Vec::new();
+            let mut scan;
+            if idx.is_some() && covered >= SHARD_MAGIC.len() as u64 && covered < size {
+                // Stale-but-consistent index: trust the covered prefix,
+                // scan only the appended tail.
+                trusted =
+                    entries.into_iter().map(|e| row_from_entry(e, &dir, &self.decodes)).collect();
+                scan = scan_shard(&buf, covered as usize, s as u8, &self.decodes);
+                if !scan.damage.is_empty() {
+                    // Damage in the tail: distrust the index for this
+                    // shard and rescan everything, so the repair
+                    // rewrite sees every valid frame.
+                    trusted.clear();
+                    scan = scan_shard(&buf, full_start, s as u8, &self.decodes);
+                }
+            } else {
+                scan = scan_shard(&buf, full_start, s as u8, &self.decodes);
+            }
+
+            let sh = &mut self.shard_health[s];
+            sh.kept = trusted.len() + scan.rows.len();
+            sh.quarantined = scan.damage.len();
+            sh.truncated = scan.torn_tail.is_some();
+
+            if !self.readonly {
+                if !scan.damage.is_empty() {
+                    // Quarantine the damaged regions, then rewrite the
+                    // shard from its valid frames (temp + rename).
+                    let qpath = dir.join(QUARANTINE_FILE);
+                    let mut q = fs::OpenOptions::new().create(true).append(true).open(&qpath)?;
+                    for &(off, len) in &scan.damage {
+                        let end = (off + len).min(buf.len() as u64) as usize;
+                        let sample = &buf[off as usize..end.min(off as usize + 64)];
+                        let hex: String = sample.iter().map(|b| format!("{b:02x}")).collect();
+                        let mut o = Value::obj();
+                        o.push("shard", (s as u64).into());
+                        o.push("offset", off.into());
+                        o.push("len", len.into());
+                        o.push("hex", hex.as_str().into());
+                        q.write_all(json::to_string(&o).as_bytes())?;
+                        q.write_all(b"\n")?;
+                    }
+                    q.flush()?;
+                    let tmp = spath.with_extension("bin.tmp");
+                    {
+                        let mut f = fs::File::create(&tmp)?;
+                        f.write_all(SHARD_MAGIC)?;
+                        let mut off = SHARD_MAGIC.len() as u64;
+                        for (&(a, b), row) in scan.kept_ranges.iter().zip(scan.rows.iter_mut()) {
+                            f.write_all(&buf[a..b])?;
+                            row.loc =
+                                Some(FrameLoc { shard: s as u8, offset: off, len: (b - a) as u32 });
+                            off += (b - a) as u64;
+                        }
+                        f.flush()?;
+                        f.sync_all()?;
+                    }
+                    fs::rename(&tmp, &spath)?;
+                    if let Some(plan) = &self.faults {
+                        plan.observe(fault::site::LEDGER_COMPACT);
+                    }
+                } else if let Some(ts) = scan.torn_tail {
+                    // Only a torn tail: truncate the shard in place.
+                    let f = fs::OpenOptions::new().write(true).open(&spath)?;
+                    f.set_len(ts)?;
+                    f.sync_all()?;
+                }
+            }
+            all_rows.extend(trusted);
+            all_rows.extend(scan.rows);
+        }
+
+        // Merge shards back into global append order: `seq` is the
+        // campaign's write order, so observers see the same row order
+        // the JSONL surface would give them (summary byte-stability).
+        all_rows.sort_by_key(|r| r.seq);
+        for row in all_rows {
+            self.index_row(row);
+        }
+        self.health.kept = self.rows.len();
+        self.health.quarantined = self.shard_health.iter().map(|h| h.quarantined).sum();
+        self.health.truncated = self.shard_health.iter().any(|h| h.truncated);
+        self.next_seq = self.rows.iter().map(|r| r.seq + 1).max().unwrap_or(0).max(next_seq_floor);
+        if index_stale && !self.readonly {
+            self.write_index()?;
+        }
+        Ok(())
+    }
+}
+
+impl Ledger {
+    fn readonly_err() -> io::Error {
+        io::Error::new(io::ErrorKind::PermissionDenied, "ledger was loaded read-only")
     }
 
     /// Attaches a deterministic fault plan: subsequent appends consult
@@ -336,17 +1134,40 @@ impl Ledger {
         self.faults = Some(plan);
     }
 
-    /// The ledger's file path.
+    /// The ledger's path (a file for JSONL, a directory for binary).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// What [`load`](Self::load) found and repaired.
+    /// Which on-disk format this ledger uses.
+    pub fn format(&self) -> LedgerFormat {
+        self.format
+    }
+
+    /// Whether this ledger was loaded read-only (observer mode).
+    pub fn readonly(&self) -> bool {
+        self.readonly
+    }
+
+    /// What the load found (and, unless read-only, repaired).
     pub fn health(&self) -> LedgerHealth {
         self.health
     }
 
-    /// All rows, in file order (shadowed duplicates included).
+    /// Per-shard health (binary format; empty for JSONL ledgers).
+    pub fn shard_healths(&self) -> &[LedgerHealth] {
+        &self.shard_health
+    }
+
+    /// How many outcome payloads this ledger has decoded so far — the
+    /// observable cost of a load + lookups. An index-backed resume
+    /// that only checks membership decodes nothing.
+    pub fn outcome_decodes(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// All rows, in append (campaign) order — shadowed duplicates
+    /// included.
     pub fn rows(&self) -> &[LedgerRow] {
         &self.rows
     }
@@ -363,27 +1184,53 @@ impl Ledger {
 
     /// Looks up a row by its cell content hash. With duplicate-hash
     /// rows, resolves to the newest (last-write-wins — pinned by test).
+    /// Pure index access: never touches the disk or decodes a payload.
     pub fn lookup(&self, hash: &str) -> Option<&LedgerRow> {
         self.index.get(hash).map(|&i| &self.rows[i])
     }
 
-    /// Appends one row, creating parent directories and the file on
-    /// first use, and flushes before returning — once `append` returns,
-    /// the row survives a kill. A repeated hash is allowed (the file is
+    /// Creates the binary ledger directory and its human-readable
+    /// marker on first use.
+    fn ensure_binary_dir(&self) -> io::Result<()> {
+        if !self.path.exists() {
+            fs::create_dir_all(&self.path)?;
+        }
+        let marker = self.path.join(MARKER_FILE);
+        if !marker.exists() {
+            fs::write(&marker, "soma ledger v3: binary sharded format. See specs/LEDGER.md.\n")?;
+        }
+        Ok(())
+    }
+
+    /// Appends one row, creating parent directories and files on first
+    /// use, and flushes before returning — once `append` returns, the
+    /// row survives a kill. A repeated hash is allowed (the ledger is
     /// append-only history) and shadows the earlier row in lookups.
     ///
     /// # Errors
     ///
-    /// I/O errors creating directories or writing the line — including
-    /// injected ones when a [`FaultPlan`] is attached. After an error
-    /// the in-memory index is unchanged; the on-disk tail may be torn,
-    /// which the next [`load`](Self::load) repairs.
+    /// [`io::ErrorKind::PermissionDenied`] on a read-only ledger; I/O
+    /// errors creating directories or writing — including injected
+    /// ones when a [`FaultPlan`] is attached. After an error the
+    /// in-memory index is unchanged; the on-disk tail may be torn,
+    /// which the next repairing load fixes.
     pub fn append(&mut self, row: LedgerRow) -> io::Result<()> {
+        if self.readonly {
+            return Err(Self::readonly_err());
+        }
+        match self.format {
+            LedgerFormat::Jsonl => self.append_jsonl(row),
+            LedgerFormat::Binary => self.append_binary(row),
+        }
+    }
+
+    fn append_jsonl(&mut self, mut row: LedgerRow) -> io::Result<()> {
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
                 fs::create_dir_all(dir)?;
             }
         }
+        row.seq = self.next_seq;
         let line = row.to_line();
         let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
 
@@ -415,12 +1262,303 @@ impl Ledger {
                 f.flush()?;
             }
         }
-        if let Some(prev) = self.index.insert(row.hash.clone(), self.rows.len()) {
-            let _ = prev;
-            self.health.duplicates += 1;
-        }
-        self.rows.push(row);
+        self.next_seq += 1;
+        self.index_row(row);
+        self.health.kept = self.rows.len();
         Ok(())
+    }
+
+    fn append_binary(&mut self, mut row: LedgerRow) -> io::Result<()> {
+        self.ensure_binary_dir()?;
+        let payload = row.payload_bytes()?;
+        row.seq = self.next_seq;
+        let frame = encode_frame(&row, &payload);
+        let shard = shard_of(&row.hash);
+        let spath = shard_path(&self.path, usize::from(shard));
+        let fresh = !spath.exists();
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(&spath)?;
+        if fresh {
+            f.write_all(SHARD_MAGIC)?;
+        }
+        // The frame's offset is wherever the file currently ends —
+        // robust to dead bytes left by an earlier torn append.
+        let offset = f.metadata()?.len();
+
+        match self.faults.as_ref().and_then(|p| p.next(fault::site::LEDGER_APPEND)) {
+            Some(Fault::TornWrite { keep_per_mille }) => {
+                let keep = frame.len() * usize::from(keep_per_mille) / 1000;
+                f.write_all(&frame[..keep])?;
+                f.flush()?;
+                return Err(io::Error::other("injected fault: torn write"));
+            }
+            Some(Fault::BitFlip { salt }) => {
+                let mut bytes = frame.clone();
+                fault::flip_bit(&mut bytes, salt);
+                f.write_all(&bytes)?;
+                f.flush()?;
+            }
+            Some(Fault::FsyncError) => {
+                return Err(io::Error::other("injected fault: fsync failed"));
+            }
+            _ => {
+                f.write_all(&frame)?;
+                f.flush()?;
+            }
+        }
+        self.next_seq += 1;
+        row.loc = Some(FrameLoc { shard, offset, len: frame.len() as u32 });
+        self.index_row(row);
+        self.health.kept = self.rows.len();
+        Ok(())
+    }
+
+    /// Bulk append: every row in order, with each shard file opened
+    /// once — the fast path for migration and synthetic campaigns.
+    /// Not fault-instrumented (chaos tests exercise [`append`](Self::append)).
+    ///
+    /// # Errors
+    ///
+    /// As [`append`](Self::append).
+    pub fn append_all(&mut self, batch: Vec<LedgerRow>) -> io::Result<()> {
+        if self.readonly {
+            return Err(Self::readonly_err());
+        }
+        match self.format {
+            LedgerFormat::Jsonl => {
+                if let Some(dir) = self.path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        fs::create_dir_all(dir)?;
+                    }
+                }
+                let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+                for mut row in batch {
+                    row.seq = self.next_seq;
+                    self.next_seq += 1;
+                    f.write_all(row.to_line().as_bytes())?;
+                    f.write_all(b"\n")?;
+                    self.index_row(row);
+                }
+                f.flush()?;
+                f.sync_all()?;
+            }
+            LedgerFormat::Binary => {
+                self.ensure_binary_dir()?;
+                let mut files: HashMap<u8, (fs::File, u64)> = HashMap::new();
+                for mut row in batch {
+                    let payload = row.payload_bytes()?;
+                    row.seq = self.next_seq;
+                    self.next_seq += 1;
+                    let frame = encode_frame(&row, &payload);
+                    let shard = shard_of(&row.hash);
+                    if let std::collections::hash_map::Entry::Vacant(e) = files.entry(shard) {
+                        let spath = shard_path(&self.path, usize::from(shard));
+                        let fresh = !spath.exists();
+                        let mut f =
+                            fs::OpenOptions::new().create(true).append(true).open(&spath)?;
+                        if fresh {
+                            f.write_all(SHARD_MAGIC)?;
+                        }
+                        let len = f.metadata()?.len();
+                        e.insert((f, len));
+                    }
+                    let (f, off) = files.get_mut(&shard).expect("just inserted");
+                    f.write_all(&frame)?;
+                    row.loc = Some(FrameLoc { shard, offset: *off, len: frame.len() as u32 });
+                    *off += frame.len() as u64;
+                    self.index_row(row);
+                }
+                for (f, _) in files.values_mut() {
+                    f.flush()?;
+                    f.sync_all()?;
+                }
+            }
+        }
+        self.health.kept = self.rows.len();
+        Ok(())
+    }
+
+    /// Rewrites the index sidecar to cover the shards as they stand
+    /// (binary format; a no-op for JSONL). Writers call this at the
+    /// end of a campaign so the next load is O(1) in rows-done. The
+    /// index is a disposable cache — losing it costs a scan, never a
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::PermissionDenied`] on a read-only ledger; real
+    /// I/O errors.
+    pub fn sync_index(&self) -> io::Result<()> {
+        if self.readonly {
+            return Err(Self::readonly_err());
+        }
+        if self.format == LedgerFormat::Jsonl {
+            return Ok(());
+        }
+        self.write_index()
+    }
+
+    fn write_index(&self) -> io::Result<()> {
+        if !self.path.exists() {
+            return Ok(());
+        }
+        let mut rest = Vec::new();
+        wire::put_varint(&mut rest, self.next_seq);
+        for s in 0..SHARDS {
+            let len = fs::metadata(shard_path(&self.path, s)).map(|m| m.len()).unwrap_or(0);
+            wire::put_varint(&mut rest, len);
+        }
+        let indexed: Vec<&LedgerRow> = self.rows.iter().filter(|r| r.loc.is_some()).collect();
+        wire::put_varint(&mut rest, indexed.len() as u64);
+        for row in indexed {
+            let loc = row.loc.expect("filtered on loc");
+            wire::put_varint(&mut rest, row.seq);
+            rest.push(loc.shard);
+            wire::put_varint(&mut rest, loc.offset);
+            wire::put_varint(&mut rest, u64::from(loc.len));
+            wire::put_str(&mut rest, &row.hash);
+            wire::put_str(&mut rest, &row.cell);
+            wire::put_str(&mut rest, &row.workload);
+            wire::put_str(&mut rest, &row.platform);
+            wire::put_varint(&mut rest, u64::from(row.batch));
+            wire::put_str(&mut rest, &row.engine);
+            wire::put_f64(&mut rest, row.best_cost);
+            wire::put_varint(&mut rest, row.latency_cycles);
+            wire::put_varint(&mut rest, row.evals);
+        }
+        let crc = fnv1a(rest.iter().copied());
+        let tmp = self.path.join("index.bin.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(INDEX_MAGIC)?;
+            f.write_all(&crc.to_le_bytes())?;
+            f.write_all(&rest)?;
+            f.flush()?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path.join(INDEX_FILE))
+    }
+
+    /// Compacts the ledger: drops shadowed duplicate-hash rows and
+    /// rows produced by a different (non-empty, superseded) engine
+    /// version, rewriting every file crash-safely and refreshing the
+    /// index. Surviving rows keep their append order.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::PermissionDenied`] on a read-only ledger; real
+    /// I/O errors.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        if self.readonly {
+            return Err(Self::readonly_err());
+        }
+        let mut last: HashMap<&str, usize> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            last.insert(row.hash.as_str(), i);
+        }
+        let mut stats = CompactStats { kept: 0, dropped_duplicates: 0, dropped_stale_engine: 0 };
+        let mut keep: Vec<LedgerRow> = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if last[row.hash.as_str()] != i {
+                stats.dropped_duplicates += 1;
+                continue;
+            }
+            if !row.engine.is_empty() && row.engine != ENGINE_VERSION {
+                stats.dropped_stale_engine += 1;
+                continue;
+            }
+            keep.push(row.clone());
+        }
+        stats.kept = keep.len();
+
+        match self.format {
+            LedgerFormat::Jsonl => {
+                let tmp = self.path.with_extension("jsonl.tmp");
+                {
+                    let mut f = fs::File::create(&tmp)?;
+                    for row in &keep {
+                        f.write_all(row.to_line().as_bytes())?;
+                        f.write_all(b"\n")?;
+                    }
+                    f.flush()?;
+                    f.sync_all()?;
+                }
+                fs::rename(&tmp, &self.path)?;
+                if let Some(plan) = &self.faults {
+                    plan.observe(fault::site::LEDGER_COMPACT);
+                }
+            }
+            LedgerFormat::Binary => {
+                self.ensure_binary_dir()?;
+                // Materialise payloads before any rewrite: disk-lazy
+                // rows still point at the files we are replacing.
+                let payloads: Vec<Vec<u8>> =
+                    keep.iter().map(|r| r.payload_bytes()).collect::<io::Result<_>>()?;
+                for s in 0..SHARDS {
+                    let spath = shard_path(&self.path, s);
+                    let mine: Vec<usize> = (0..keep.len())
+                        .filter(|&i| usize::from(shard_of(&keep[i].hash)) == s)
+                        .collect();
+                    if mine.is_empty() && !spath.exists() {
+                        continue;
+                    }
+                    let tmp = spath.with_extension("bin.tmp");
+                    {
+                        let mut f = fs::File::create(&tmp)?;
+                        f.write_all(SHARD_MAGIC)?;
+                        let mut off = SHARD_MAGIC.len() as u64;
+                        for &i in &mine {
+                            let frame = encode_frame(&keep[i], &payloads[i]);
+                            f.write_all(&frame)?;
+                            keep[i].loc = Some(FrameLoc {
+                                shard: s as u8,
+                                offset: off,
+                                len: frame.len() as u32,
+                            });
+                            off += frame.len() as u64;
+                        }
+                        f.flush()?;
+                        f.sync_all()?;
+                    }
+                    fs::rename(&tmp, &spath)?;
+                    if let Some(plan) = &self.faults {
+                        plan.observe(fault::site::LEDGER_COMPACT);
+                    }
+                }
+            }
+        }
+
+        self.rows = keep;
+        self.index = self.rows.iter().enumerate().map(|(i, r)| (r.hash.clone(), i)).collect();
+        self.health.kept = self.rows.len();
+        self.health.duplicates = 0;
+        if self.format == LedgerFormat::Binary {
+            self.write_index()?;
+        }
+        Ok(stats)
+    }
+
+    /// Migrates the ledger at `src` into a fresh ledger at `dst`,
+    /// format-converting as the paths dictate (the canonical use:
+    /// v2 JSONL file → v3 binary directory). The source is opened
+    /// read-only and never touched; row order and duplicate history
+    /// are preserved, so summaries over the two ledgers are
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// If `dst` already exists, plus real I/O errors.
+    pub fn migrate(src: &Path, dst: &Path) -> io::Result<MigrateStats> {
+        let source = Self::load_readonly(src)?;
+        if dst.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("migration target {} already exists", dst.display()),
+            ));
+        }
+        let mut target = Self::load(dst)?;
+        target.append_all(source.rows.clone())?;
+        target.sync_index()?;
+        Ok(MigrateStats { rows: target.len(), from: source.format, to: target.format })
     }
 }
 
@@ -432,11 +1570,29 @@ pub fn cell_key(cell: &ExperimentCell, config: &SearchConfig, seeds: &[u64]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
+    use soma_search::record::synthetic_outcome;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("soma-ledger-unit");
         fs::create_dir_all(&dir).expect("temp dir");
         dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn wipe(path: &Path) {
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_dir_all(path);
+    }
+
+    fn synth_row(i: u64) -> LedgerRow {
+        LedgerRow::from_parts(
+            &format!("{i:016x}"),
+            &format!("cell-{i}"),
+            "wl",
+            "edge",
+            1,
+            synthetic_outcome(i, 4),
+        )
     }
 
     #[test]
@@ -469,6 +1625,7 @@ mod tests {
         assert_eq!(ledger.len(), 0);
         assert!(ledger.lookup("0000000000000000").is_none());
         assert!(ledger.health().is_clean());
+        assert_eq!(ledger.format(), LedgerFormat::Jsonl);
     }
 
     #[test]
@@ -499,5 +1656,310 @@ mod tests {
             quarantine_path(Path::new("runs/serve.jsonl")),
             PathBuf::from("runs/serve.quarantine.jsonl")
         );
+    }
+
+    #[test]
+    fn quarantine_sidecars_are_refused_as_ledgers() {
+        // `quarantine_path` of a sidecar maps onto itself, so loading
+        // one as a ledger would re-quarantine its own contents in
+        // place. The load refuses instead.
+        let path = tmp("refused.quarantine.jsonl");
+        fs::write(&path, "garbage\n").unwrap();
+        for load in [Ledger::load, Ledger::load_readonly] {
+            let err = load(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+            assert!(err.to_string().contains("quarantine sidecar"), "{err}");
+        }
+        // The sidecar's bytes are untouched by the refused loads.
+        assert_eq!(fs::read_to_string(&path).unwrap(), "garbage\n");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn format_detection_prefers_what_exists() {
+        let dir = tmp("detect.ledger");
+        wipe(&dir);
+        assert_eq!(LedgerFormat::detect(&dir), LedgerFormat::Binary);
+        assert_eq!(LedgerFormat::detect(Path::new("missing.jsonl")), LedgerFormat::Jsonl);
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(LedgerFormat::detect(&dir), LedgerFormat::Binary);
+        let file = tmp("detect.weird-extension");
+        fs::write(&file, "x").unwrap();
+        assert_eq!(LedgerFormat::detect(&file), LedgerFormat::Jsonl);
+        wipe(&dir);
+        let _ = fs::remove_file(&file);
+    }
+
+    #[test]
+    fn binary_ledger_round_trips_through_index_and_scan() {
+        let dir = tmp("roundtrip.ledger");
+        wipe(&dir);
+        let mut ledger = Ledger::load(&dir).unwrap();
+        assert_eq!(ledger.format(), LedgerFormat::Binary);
+        let rows: Vec<LedgerRow> = (0..40).map(synth_row).collect();
+        for row in rows.iter().cloned() {
+            ledger.append(row).unwrap();
+        }
+        ledger.sync_index().unwrap();
+
+        // Index-backed reload: every row present, nothing decoded.
+        let warm = Ledger::load_readonly(&dir).unwrap();
+        assert_eq!(warm.len(), 40);
+        assert!(warm.health().is_clean());
+        for row in &rows {
+            let got = warm.lookup(&row.hash).expect("hash present");
+            assert_eq!(got.cell, row.cell);
+            assert_eq!(got.best_cost.to_bits(), row.best_cost.to_bits());
+            assert_eq!(got.evals, row.evals);
+        }
+        assert_eq!(warm.outcome_decodes(), 0, "a pure membership resume decodes nothing");
+        // Lazily decoding one outcome touches exactly one frame.
+        let one = warm.lookup(&rows[7].hash).unwrap();
+        assert_eq!(one.outcome().expect("payload decodes").evals, rows[7].outcome().unwrap().evals);
+        assert_eq!(warm.outcome_decodes(), 1);
+
+        // Scan-backed reload (index deleted): same rows, same order.
+        fs::remove_file(dir.join(INDEX_FILE)).unwrap();
+        let scanned = Ledger::load_readonly(&dir).unwrap();
+        assert!(scanned.health().is_clean());
+        assert_eq!(scanned.len(), 40);
+        let order: Vec<&str> = scanned.rows().iter().map(|r| r.hash.as_str()).collect();
+        let want: Vec<&str> = rows.iter().map(|r| r.hash.as_str()).collect();
+        assert_eq!(order, want, "seq merge preserves append order across shards");
+        for row in &rows {
+            let got = scanned.lookup(&row.hash).unwrap();
+            assert_eq!(
+                outcome_to_bytes(got.outcome().unwrap()),
+                outcome_to_bytes(row.outcome().unwrap())
+            );
+        }
+        wipe(&dir);
+    }
+
+    #[test]
+    fn torn_tail_repair_is_in_place_not_a_compaction() {
+        // JSONL: two rows plus a torn tail. The repair must be a
+        // truncation (no compaction rewrite observed, no temp file).
+        let path = tmp("torn.jsonl");
+        wipe(&path);
+        {
+            let mut ledger = Ledger::load(&path).unwrap();
+            ledger.append(synth_row(1)).unwrap();
+            ledger.append(synth_row(2)).unwrap();
+        }
+        let clean = fs::read(&path).unwrap();
+        let mut damaged = clean.clone();
+        damaged.extend_from_slice(b"{\"crc\":\"torn");
+        fs::write(&path, &damaged).unwrap();
+        let plan = Arc::new(FaultPlan::seeded(0, FaultConfig::NONE));
+        let ledger = Ledger::load_with_faults(&path, Arc::clone(&plan)).unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert!(ledger.health().truncated);
+        assert_eq!(ledger.health().quarantined, 0);
+        assert_eq!(plan.invocations(fault::site::LEDGER_COMPACT), 0, "no compaction rewrite");
+        assert!(!path.with_extension("jsonl.tmp").exists(), "no temp file created");
+        assert_eq!(fs::read(&path).unwrap(), clean, "tail truncated in place");
+
+        // A corrupt interior row, by contrast, must compact (observed
+        // exactly once) and quarantine.
+        let mut corrupted = Vec::new();
+        corrupted.extend_from_slice(b"garbage\n");
+        corrupted.extend_from_slice(&clean);
+        fs::write(&path, &corrupted).unwrap();
+        let plan2 = Arc::new(FaultPlan::seeded(0, FaultConfig::NONE));
+        let repaired = Ledger::load_with_faults(&path, Arc::clone(&plan2)).unwrap();
+        assert_eq!(repaired.len(), 2);
+        assert_eq!(repaired.health().quarantined, 1);
+        assert_eq!(plan2.invocations(fault::site::LEDGER_COMPACT), 1, "one compaction rewrite");
+        wipe(&path);
+        let _ = fs::remove_file(quarantine_path(&path));
+    }
+
+    #[test]
+    fn binary_torn_tail_truncates_in_place_and_damage_quarantines() {
+        let dir = tmp("torn.ledger");
+        wipe(&dir);
+        let rows: Vec<LedgerRow> = (0..6).map(synth_row).collect();
+        {
+            let mut ledger = Ledger::load(&dir).unwrap();
+            ledger.append_all(rows.clone()).unwrap();
+            ledger.sync_index().unwrap();
+        }
+        // Tear one shard mid-frame: append a frame prefix.
+        let victim = shard_path(&dir, usize::from(shard_of(&rows[0].hash)));
+        let clean = fs::read(&victim).unwrap();
+        let mut torn = clean.clone();
+        torn.extend_from_slice(FRAME_MAGIC);
+        torn.extend_from_slice(&999u32.to_le_bytes());
+        torn.extend_from_slice(&[0xab; 5]);
+        fs::write(&victim, &torn).unwrap();
+
+        let plan = Arc::new(FaultPlan::seeded(0, FaultConfig::NONE));
+        let ledger = Ledger::load_with_faults(&dir, Arc::clone(&plan)).unwrap();
+        assert_eq!(ledger.len(), rows.len());
+        assert!(ledger.health().truncated);
+        assert_eq!(plan.invocations(fault::site::LEDGER_COMPACT), 0, "torn tail never compacts");
+        assert_eq!(fs::read(&victim).unwrap(), clean, "shard truncated in place");
+
+        // Interior damage: flip a byte inside the first frame's body.
+        let mut corrupt = fs::read(&victim).unwrap();
+        let flip_at = SHARD_MAGIC.len() + 16;
+        corrupt[flip_at] ^= 0xff;
+        fs::write(&victim, &corrupt).unwrap();
+        let _ = fs::remove_file(dir.join(INDEX_FILE));
+        let plan2 = Arc::new(FaultPlan::seeded(0, FaultConfig::NONE));
+        let repaired = Ledger::load_with_faults(&dir, Arc::clone(&plan2)).unwrap();
+        assert!(repaired.health().quarantined >= 1);
+        assert_eq!(plan2.invocations(fault::site::LEDGER_COMPACT), 1, "one shard rewritten");
+        assert!(dir.join(QUARANTINE_FILE).exists());
+        // Valid rows in other shards all survived.
+        assert!(repaired.len() >= rows.len() - 1);
+        // And the rewritten shard reloads clean.
+        assert!(Ledger::load(&dir).unwrap().health().is_clean());
+        wipe(&dir);
+    }
+
+    #[test]
+    fn readonly_load_tolerates_damage_and_rejects_writes() {
+        let path = tmp("readonly.jsonl");
+        wipe(&path);
+        {
+            let mut ledger = Ledger::load(&path).unwrap();
+            ledger.append(synth_row(1)).unwrap();
+        }
+        let mut damaged = fs::read(&path).unwrap();
+        let before_garbage = damaged.clone();
+        damaged.splice(0..0, b"garbage\n".iter().copied());
+        damaged.extend_from_slice(b"{\"torn");
+        fs::write(&path, &damaged).unwrap();
+
+        let ledger = Ledger::load_readonly(&path).unwrap();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.health().quarantined, 1);
+        assert!(ledger.health().truncated);
+        assert!(ledger.readonly());
+        // Nothing on disk moved: no truncation, no sidecar, no rewrite.
+        assert_eq!(fs::read(&path).unwrap(), damaged);
+        assert!(!quarantine_path(&path).exists());
+        let err = Ledger::load_readonly(&path).unwrap().append(synth_row(9)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let err = Ledger::load_readonly(&path).unwrap().sync_index().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let err = Ledger::load_readonly(&path).unwrap().compact().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let _ = before_garbage;
+        wipe(&path);
+    }
+
+    #[test]
+    fn v1_rows_migrate_on_read() {
+        // A complete v1 row (no crc) parses via the migration path; an
+        // incomplete one stays quarantined.
+        let row = synth_row(3);
+        let outcome = row.outcome().unwrap();
+        let mut o = Value::obj();
+        o.push("v", 1u64.into());
+        o.push("hash", row.hash.as_str().into());
+        o.push("cell", row.cell.as_str().into());
+        o.push("workload", row.workload.as_str().into());
+        o.push("platform", row.platform.as_str().into());
+        o.push("batch", row.batch.into());
+        o.push("outcome", outcome_to_json(outcome));
+        let v1_line = json::to_string(&o);
+
+        let path = tmp("v1.jsonl");
+        wipe(&path);
+        fs::write(&path, format!("{v1_line}\n{{\"v\":1}}\n")).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 1, "complete v1 row migrated");
+        assert_eq!(ledger.health().quarantined, 1, "incomplete v1 row quarantined");
+        let got = ledger.lookup(&row.hash).unwrap();
+        assert_eq!(got.engine, "", "pre-v3 rows have no recorded engine");
+        assert_eq!(
+            outcome_to_bytes(got.outcome().unwrap()),
+            outcome_to_bytes(outcome),
+            "outcome survives migration bit-for-bit"
+        );
+        // The repair rewrite upgraded the surviving row to v2 on disk.
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"crc\":"), "{text}");
+        wipe(&path);
+        let _ = fs::remove_file(quarantine_path(&path));
+    }
+
+    #[test]
+    fn compaction_drops_duplicates_and_stale_engines() {
+        let dir = tmp("compact.ledger");
+        wipe(&dir);
+        let mut ledger = Ledger::load(&dir).unwrap();
+        ledger.append(synth_row(1)).unwrap();
+        let mut dup = synth_row(2);
+        dup.hash = synth_row(1).hash;
+        ledger.append(dup).unwrap();
+        let mut stale = synth_row(3);
+        stale.engine = "soma-engine-0".to_string();
+        ledger.append(stale).unwrap();
+        ledger.append(synth_row(4)).unwrap();
+        assert_eq!(ledger.len(), 4);
+
+        let stats = ledger.compact().unwrap();
+        assert_eq!(stats, CompactStats { kept: 2, dropped_duplicates: 1, dropped_stale_engine: 1 });
+        assert_eq!(ledger.len(), 2);
+        // The duplicate resolved last-write-wins: the surviving row
+        // under hash(1) is the *second* append (cell-2's outcome).
+        let winner = ledger.lookup(&synth_row(1).hash).unwrap();
+        assert_eq!(winner.cell, "cell-2");
+        // Compaction persisted: a cold reload agrees.
+        let cold = Ledger::load_readonly(&dir).unwrap();
+        assert_eq!(cold.len(), 2);
+        assert!(cold.health().is_clean());
+        assert_eq!(cold.lookup(&synth_row(1).hash).unwrap().cell, "cell-2");
+        assert!(cold.lookup(&synth_row(3).hash).is_none(), "stale engine row gone");
+        wipe(&dir);
+    }
+
+    #[test]
+    fn migration_preserves_rows_and_refuses_existing_targets() {
+        let src = tmp("mig-src.jsonl");
+        let dst = tmp("mig-dst.ledger");
+        wipe(&src);
+        wipe(&dst);
+        {
+            let mut ledger = Ledger::load(&src).unwrap();
+            for i in 0..10 {
+                ledger.append(synth_row(i)).unwrap();
+            }
+        }
+        let src_bytes = fs::read(&src).unwrap();
+        let stats = Ledger::migrate(&src, &dst).unwrap();
+        assert_eq!(
+            stats,
+            MigrateStats { rows: 10, from: LedgerFormat::Jsonl, to: LedgerFormat::Binary }
+        );
+        assert_eq!(fs::read(&src).unwrap(), src_bytes, "source untouched");
+        let migrated = Ledger::load_readonly(&dst).unwrap();
+        assert_eq!(migrated.len(), 10);
+        assert_eq!(migrated.outcome_decodes(), 0, "index written by migrate");
+        let order: Vec<String> = migrated.rows().iter().map(|r| r.hash.clone()).collect();
+        let want: Vec<String> = (0..10).map(|i| synth_row(i).hash).collect();
+        assert_eq!(order, want, "row order preserved");
+        // Round trip back to JSONL: byte-identical to the source.
+        let back = tmp("mig-back.jsonl");
+        wipe(&back);
+        Ledger::migrate(&dst, &back).unwrap();
+        assert_eq!(fs::read(&back).unwrap(), src_bytes, "jsonl → binary → jsonl is an identity");
+        assert!(Ledger::migrate(&src, &dst).is_err(), "existing target refused");
+        wipe(&src);
+        wipe(&dst);
+        wipe(&back);
+    }
+
+    #[test]
+    fn shards_spread_by_hash_prefix() {
+        assert_eq!(shard_of("0123456789abcdef"), 0);
+        assert_eq!(shard_of("f123456789abcdef"), 15);
+        assert_eq!(shard_of("a000000000000000"), 10);
+        let weird = shard_of("~not-hex");
+        assert!(usize::from(weird) < SHARDS);
     }
 }

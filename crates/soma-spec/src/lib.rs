@@ -83,6 +83,9 @@ pub use experiment::{read_experiment, write_experiment, ExperimentCell, Experime
 pub use fault::{Fault, FaultConfig, FaultPlan};
 pub use hardware::{read_hardware, write_hardware, HardwareSpec, HwField, Preset};
 pub use hash::{cell_hash, cell_hash_hex, inline_scenario_id};
-pub use ledger::{cell_key, quarantine_path, Ledger, LedgerHealth, LedgerRow, LEDGER_VERSION};
+pub use ledger::{
+    cell_key, quarantine_path, CompactStats, Ledger, LedgerFormat, LedgerHealth, LedgerRow,
+    MigrateStats, JSONL_VERSION, LEDGER_VERSION, SHARDS,
+};
 pub use network::{read_network, write_network};
 pub use registry::{scenario_id, scenarios, Scenario};

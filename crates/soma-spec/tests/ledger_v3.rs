@@ -1,0 +1,222 @@
+//! Integration wall for ledger format v3: **observers never write,
+//! resume work is O(cells-missing), and migration is lossless.**
+//!
+//! Three walls:
+//!
+//! * the **concurrent-observer pin**: a writer thread appends to a
+//!   binary ledger while a follow-style observer reloads it read-only
+//!   in a loop. Every shard file must only ever *grow* — each
+//!   observation is a byte-prefix of the next — and no index sidecar
+//!   may appear, because the only process that could have written one
+//!   is the observer. This is the regression test for the live
+//!   corruption hazard where `watch --follow` used a repairing load
+//!   against a campaign mid-append;
+//! * the **100k-cell resume pin**: an interrupted synthetic campaign is
+//!   resumed against its index sidecar, and the resume probe — lookup
+//!   plus meta fields for every one of 100 000 cells — must decode
+//!   exactly **zero** outcome payloads. Payload work is proportional to
+//!   the cells actually searched, never to campaign size;
+//! * the **migration round trip** (proptest): v2 JSONL -> v3 binary ->
+//!   JSONL is a byte identity for any synthetic campaign, so switching
+//!   formats can never lose or reorder a row.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use soma_search::synthetic_outcome;
+use soma_spec::ledger::{Ledger, LedgerRow, SHARDS};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("soma-ledger-v3");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+fn wipe(path: &Path) {
+    if path.is_dir() {
+        let _ = fs::remove_dir_all(path);
+    } else {
+        let _ = fs::remove_file(path);
+    }
+}
+
+/// A synthetic row whose 16-hex hash spreads across all shards.
+fn synth_row(i: u64) -> LedgerRow {
+    let hash = format!("{:016x}", i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    LedgerRow::from_parts(&hash, &format!("cell-{i}"), "wl", "edge", 1, synthetic_outcome(i, 4))
+}
+
+/// Every byte of every shard file, keyed by shard number. Missing
+/// shards read as empty.
+fn shard_bytes(dir: &Path) -> Vec<Vec<u8>> {
+    (0..SHARDS)
+        .map(|s| fs::read(dir.join(format!("shard-{s:x}.bin"))).unwrap_or_default())
+        .collect()
+}
+
+/// The headline regression test: a follow-style observer reloading a
+/// live ledger must never mutate its bytes — not by torn-tail repair,
+/// not by compaction, not by index writes.
+#[test]
+fn readonly_observers_never_mutate_a_live_ledger() {
+    let dir = tmp("observer.ledger");
+    wipe(&dir);
+    let done = Arc::new(AtomicBool::new(false));
+    let writer_done = Arc::clone(&done);
+    let writer_dir = dir.clone();
+    let writer = std::thread::spawn(move || {
+        let mut ledger = Ledger::load(&writer_dir).expect("writer load");
+        for i in 0..200u64 {
+            ledger.append(synth_row(i)).expect("append");
+            if i % 16 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        writer_done.store(true, Ordering::Release);
+    });
+
+    let index = dir.join("index.bin");
+    let mut last = vec![Vec::new(); SHARDS];
+    let mut last_len = 0usize;
+    let mut observations = 0u32;
+    while !done.load(Ordering::Acquire) || observations == 0 {
+        // Snapshot, observe, snapshot again: whatever the load did to
+        // the files must be indistinguishable from "nothing" — the only
+        // legal byte change between observations is the writer's
+        // append-only growth, so every earlier snapshot must be a
+        // prefix of every later one.
+        let ledger = Ledger::load_readonly(&dir).expect("observer load");
+        assert!(ledger.readonly(), "observer loads are marked read-only");
+        let now = shard_bytes(&dir);
+        for (s, (prev, cur)) in last.iter().zip(&now).enumerate() {
+            assert!(
+                cur.len() >= prev.len() && &cur[..prev.len()] == prev.as_slice(),
+                "shard {s:x} was rewritten under an observer (prefix property broken)"
+            );
+        }
+        assert!(
+            !index.exists(),
+            "an index sidecar appeared, and only the observer could have written it"
+        );
+        assert!(ledger.len() >= last_len, "an observer saw rows disappear");
+        last = now;
+        last_len = ledger.len();
+        observations += 1;
+    }
+    writer.join().expect("writer thread");
+
+    // The final observation sees the complete campaign, still without
+    // ever having repaired or indexed anything.
+    let ledger = Ledger::load_readonly(&dir).expect("final observer load");
+    assert_eq!(ledger.len(), 200);
+    assert!(ledger.health().is_clean());
+    assert!(!index.exists());
+    assert!(observations > 1, "the observer raced the writer at least twice");
+
+    // A torn tail mid-append must also survive observation untouched:
+    // damage the last shard byte-for-byte like a crashed writer would,
+    // then prove the observer tolerates it in memory only.
+    let shard = dir.join("shard-0.bin");
+    let mut bytes = fs::read(&shard).expect("shard bytes");
+    bytes.extend_from_slice(b"FRM3\xff\xff\xff\x7f");
+    fs::write(&shard, &bytes).expect("tear the tail");
+    let ledger = Ledger::load_readonly(&dir).expect("observer load over torn tail");
+    assert!(ledger.health().truncated, "the torn tail is visible in health");
+    assert_eq!(fs::read(&shard).expect("shard bytes"), bytes, "the torn tail was not repaired");
+    wipe(&dir);
+}
+
+/// Resuming an interrupted 100k-cell campaign performs payload work
+/// proportional to the missing cells only: the index-backed load plus
+/// a lookup-and-meta probe of every cell decodes zero payloads.
+#[test]
+fn resume_of_100k_cells_decodes_only_whats_missing() {
+    const CELLS: u64 = 100_000;
+    const MISSING: u64 = 7;
+    let dir = tmp("resume.ledger");
+    wipe(&dir);
+
+    // The interrupted campaign: every cell but the last few landed.
+    let rows: Vec<LedgerRow> = (0..CELLS - MISSING).map(synth_row).collect();
+    let hashes: Vec<String> = (0..CELLS).map(|i| synth_row(i).hash).collect();
+    let mut ledger = Ledger::load(&dir).expect("campaign load");
+    ledger.append_all(rows).expect("bulk append");
+    ledger.sync_index().expect("index sync");
+    drop(ledger);
+
+    // The resume: trust the index, probe every cell, classify
+    // hits/misses. This is exactly what the lab orchestrator's warm
+    // path does — and it must not pay for the 99 993 finished cells.
+    let mut ledger = Ledger::load(&dir).expect("resume load");
+    assert_eq!(ledger.len() as u64, CELLS - MISSING);
+    let mut missing = Vec::new();
+    let mut meta_sum = 0.0f64;
+    for hash in &hashes {
+        match ledger.lookup(hash) {
+            Some(row) => meta_sum += row.best_cost,
+            None => missing.push(hash.clone()),
+        }
+    }
+    assert_eq!(missing.len() as u64, MISSING);
+    assert!(meta_sum.is_finite());
+    assert_eq!(
+        ledger.outcome_decodes(),
+        0,
+        "an index-backed resume probe must decode zero payloads for {} hit cells",
+        CELLS - MISSING
+    );
+
+    // Searching the missing cells appends them; decode cost stays at
+    // the handful of payloads the campaign actually touched.
+    for i in CELLS - MISSING..CELLS {
+        ledger.append(synth_row(i)).expect("resume append");
+    }
+    ledger.sync_index().expect("index sync");
+    assert_eq!(ledger.len() as u64, CELLS);
+    assert_eq!(ledger.outcome_decodes(), 0, "appending resident rows decodes nothing");
+    let spot = ledger.lookup(&hashes[0]).expect("first cell");
+    assert!(spot.outcome().is_some());
+    assert_eq!(ledger.outcome_decodes(), 1, "one explicit decode costs exactly one");
+    wipe(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// v2 JSONL -> v3 binary -> JSONL is a byte identity: `to_line` is
+    /// a fixed point through the binary format for any synthetic
+    /// campaign shape.
+    #[test]
+    fn migration_round_trips_to_identical_jsonl(seed in any::<u64>()) {
+        let n = 1 + (seed % 37);
+        let jsonl = tmp(&format!("round-{seed}.jsonl"));
+        let binary = tmp(&format!("round-{seed}.ledger"));
+        let back = tmp(&format!("round-back-{seed}.jsonl"));
+        wipe(&jsonl);
+        wipe(&binary);
+        wipe(&back);
+
+        let mut ledger = Ledger::load(&jsonl).expect("jsonl load");
+        for i in 0..n {
+            ledger.append(synth_row(seed.wrapping_add(i))).expect("append");
+        }
+        drop(ledger);
+
+        let fwd = Ledger::migrate(&jsonl, &binary).expect("jsonl -> binary");
+        prop_assert_eq!(fwd.rows as u64, n);
+        let rev = Ledger::migrate(&binary, &back).expect("binary -> jsonl");
+        prop_assert_eq!(rev.rows as u64, n);
+
+        let original = fs::read(&jsonl).expect("original bytes");
+        let round = fs::read(&back).expect("round-tripped bytes");
+        prop_assert_eq!(original, round);
+
+        wipe(&jsonl);
+        wipe(&binary);
+        wipe(&back);
+    }
+}
